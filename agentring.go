@@ -1,0 +1,221 @@
+// Package agentring is a library for uniform deployment of mobile
+// agents in asynchronous unidirectional rings, reproducing
+//
+//	Shibata, Mega, Ooshita, Kakugawa, Masuzawa:
+//	"Uniform deployment of mobile agents in asynchronous rings",
+//	PODC 2016 / JPDC 119:92-106 (2018).
+//
+// k anonymous agents start on distinct nodes of an anonymous n-node
+// unidirectional ring with FIFO links; each carries one indelible token
+// and can message co-located agents. The uniform deployment problem
+// asks them to spread so that adjacent agents are ⌊n/k⌋ or ⌈n/k⌉ apart.
+//
+// Three algorithms from the paper are provided:
+//
+//   - Native (Algorithm 1): knowledge of k or n, termination detection,
+//     O(k log n) agent memory, O(n) time, O(kn) total moves.
+//   - LogSpace (Algorithms 2+3): knowledge of k, termination detection,
+//     O(log n) memory, O(n log k) time, O(kn) total moves.
+//   - Relaxed (Algorithms 4–6): no knowledge of k or n, no termination
+//     detection, O((k/l) log(n/l)) memory, O(n/l) time, O(kn/l) moves
+//     for an initial configuration of symmetry degree l.
+//
+// Plus two foils: NaiveHalting, the estimate-then-halt straw man that
+// replays the Theorem 5 impossibility, and FirstFit, a
+// coordination-free scatter heuristic ablating the base-node election.
+//
+// Basic use:
+//
+//	report, err := agentring.Run(agentring.Native, agentring.Config{
+//		N:     16,
+//		Homes: []int{0, 1, 5, 11},
+//	})
+//	// report.Uniform == true; report.Positions are 4 apart.
+package agentring
+
+import (
+	"errors"
+	"fmt"
+
+	"agentring/internal/baseline"
+	"agentring/internal/core"
+	"agentring/internal/ring"
+	"agentring/internal/sim"
+)
+
+// Algorithm selects which deployment algorithm the agents execute.
+type Algorithm int
+
+// Available algorithms.
+const (
+	// Native is Algorithm 1 of the paper (agents know k).
+	Native Algorithm = iota + 1
+	// NativeKnowN is Algorithm 1 with knowledge of n instead of k.
+	NativeKnowN
+	// LogSpace is Algorithms 2+3 (agents know k, O(log n) memory).
+	LogSpace
+	// Relaxed is Algorithms 4-6 (no knowledge, no termination detection).
+	Relaxed
+	// NaiveHalting is the unsound estimate-then-halt program used to
+	// demonstrate the Theorem 5 impossibility; it is expected to fail on
+	// pumped rings.
+	NaiveHalting
+	// FirstFit is the uncoordinated baseline heuristic (knows n and k);
+	// it usually fails to achieve exact uniformity.
+	FirstFit
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case Native:
+		return "native(k)"
+	case NativeKnowN:
+		return "native(n)"
+	case LogSpace:
+		return "logspace"
+	case Relaxed:
+		return "relaxed"
+	case NaiveHalting:
+		return "naive-halting"
+	case FirstFit:
+		return "first-fit"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// SchedulerKind selects the interleaving policy of the asynchronous
+// execution.
+type SchedulerKind int
+
+// Available schedulers.
+const (
+	// RoundRobin activates enabled agents cyclically (default).
+	RoundRobin SchedulerKind = iota
+	// RandomSched activates a uniformly random enabled agent; seed with
+	// Config.Seed.
+	RandomSched
+	// Synchronous runs in rounds and reports the paper's ideal time in
+	// Report.Rounds.
+	Synchronous
+	// Adversarial starves agents as long as the fairness bound
+	// Config.AdversaryBound allows.
+	Adversarial
+)
+
+// Config describes one run.
+type Config struct {
+	// N is the ring size.
+	N int
+	// Homes are the agents' distinct initial nodes.
+	Homes []int
+	// Scheduler picks the interleaving policy; default RoundRobin.
+	Scheduler SchedulerKind
+	// Seed seeds the RandomSched scheduler.
+	Seed int64
+	// AdversaryBound is the Adversarial scheduler's fairness bound
+	// (how long an enabled agent may be starved); default 8.
+	AdversaryBound int
+	// MaxSteps bounds the number of atomic actions (0 = automatic).
+	MaxSteps int
+	// TraceCapacity, if positive, records up to that many execution
+	// events into Report.Trace.
+	TraceCapacity int
+}
+
+// ErrConfig is wrapped by all configuration errors from Run.
+var ErrConfig = errors.New("agentring: invalid configuration")
+
+// Run executes the chosen algorithm on the configured ring until
+// quiescence and reports the outcome. The run is deterministic for a
+// fixed configuration.
+func Run(alg Algorithm, cfg Config) (Report, error) {
+	if cfg.N < 1 {
+		return Report{}, fmt.Errorf("%w: ring size %d", ErrConfig, cfg.N)
+	}
+	k := len(cfg.Homes)
+	if k < 1 {
+		return Report{}, fmt.Errorf("%w: no agents", ErrConfig)
+	}
+	homes := make([]ring.NodeID, k)
+	for i, h := range cfg.Homes {
+		homes[i] = ring.NodeID(h)
+	}
+	programs, err := buildPrograms(alg, cfg.N, k)
+	if err != nil {
+		return Report{}, err
+	}
+	sched, err := buildScheduler(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	var trace *sim.Trace
+	if cfg.TraceCapacity > 0 {
+		trace = sim.NewTrace(cfg.TraceCapacity)
+	}
+	r, err := ring.New(cfg.N)
+	if err != nil {
+		return Report{}, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	engine, err := sim.NewEngine(r, homes, programs, sim.Options{
+		Scheduler: sched,
+		MaxSteps:  cfg.MaxSteps,
+		Trace:     trace,
+	})
+	if err != nil {
+		return Report{}, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	res, runErr := engine.Run()
+	report := buildReport(alg, cfg, res, trace)
+	return report, runErr
+}
+
+func buildPrograms(alg Algorithm, n, k int) ([]sim.Program, error) {
+	mk := func() (sim.Program, error) {
+		switch alg {
+		case Native:
+			return core.NewAlg1(core.KnowAgents, k)
+		case NativeKnowN:
+			return core.NewAlg1(core.KnowNodes, n)
+		case LogSpace:
+			return core.NewAlg2(k)
+		case Relaxed:
+			return core.NewRelaxed(), nil
+		case NaiveHalting:
+			return core.NewNaiveEstimator(), nil
+		case FirstFit:
+			return baseline.NewFirstFit(n, k)
+		default:
+			return nil, fmt.Errorf("%w: unknown algorithm %d", ErrConfig, int(alg))
+		}
+	}
+	programs := make([]sim.Program, k)
+	for i := range programs {
+		p, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		programs[i] = p
+	}
+	return programs, nil
+}
+
+func buildScheduler(cfg Config) (sim.Scheduler, error) {
+	switch cfg.Scheduler {
+	case RoundRobin:
+		return sim.NewRoundRobin(), nil
+	case RandomSched:
+		return sim.NewRandom(cfg.Seed), nil
+	case Synchronous:
+		return sim.NewSynchronous(), nil
+	case Adversarial:
+		bound := cfg.AdversaryBound
+		if bound == 0 {
+			bound = 8
+		}
+		return sim.NewAdversarial(bound), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown scheduler %d", ErrConfig, int(cfg.Scheduler))
+	}
+}

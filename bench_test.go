@@ -1,0 +1,285 @@
+// Benchmarks regenerating every table and figure claim of the paper.
+// Each benchmark reports the paper's own metrics (total moves, ideal
+// time in rounds, peak memory in words) via b.ReportMetric, so
+// `go test -bench=. -benchmem` prints the rows EXPERIMENTS.md records.
+package agentring_test
+
+import (
+	"fmt"
+	"testing"
+
+	"agentring"
+	"agentring/internal/experiments"
+)
+
+func reportRow(b *testing.B, row experiments.Row) {
+	b.Helper()
+	if !row.Uniform {
+		b.Fatalf("run not uniform: %+v", row)
+	}
+	b.ReportMetric(float64(row.TotalMoves), "moves")
+	b.ReportMetric(float64(row.MaxMoves), "moves/agent")
+	b.ReportMetric(float64(row.Rounds), "rounds")
+	b.ReportMetric(float64(row.PeakWords), "memwords")
+	b.ReportMetric(float64(row.Messages), "msgs")
+}
+
+func benchSpec(b *testing.B, spec experiments.Spec) {
+	b.Helper()
+	var last experiments.Row
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = row
+	}
+	reportRow(b, last)
+}
+
+// BenchmarkTable1Alg1 regenerates Table 1 column 1 (Algorithm 1:
+// O(k log n) memory, O(n) time, O(kn) moves) over an (n, k) grid.
+func BenchmarkTable1Alg1(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		for _, k := range []int{4, 16, 64} {
+			b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
+				benchSpec(b, experiments.Spec{
+					Algorithm: agentring.Native, N: n, K: k,
+					Workload: experiments.WorkloadRandom, Seed: int64(n + k),
+					Scheduler: agentring.Synchronous,
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkTable1Alg2 regenerates Table 1 column 2 (Algorithms 2+3:
+// O(log n) memory, O(n log k) time, O(kn) moves).
+func BenchmarkTable1Alg2(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		for _, k := range []int{4, 16, 64} {
+			b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
+				benchSpec(b, experiments.Spec{
+					Algorithm: agentring.LogSpace, N: n, K: k,
+					Workload: experiments.WorkloadRandom, Seed: int64(n + k),
+					Scheduler: agentring.Synchronous,
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkTable1Relaxed regenerates Table 1 column 4 (relaxed
+// algorithm: O((k/l) log(n/l)) memory, O(n/l) time, O(kn/l) moves) as a
+// sweep over the symmetry degree l.
+func BenchmarkTable1Relaxed(b *testing.B) {
+	const n, k = 512, 16
+	for _, l := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("n=%d/k=%d/l=%d", n, k, l), func(b *testing.B) {
+			benchSpec(b, experiments.Spec{
+				Algorithm: agentring.Relaxed, N: n, K: k,
+				Workload: experiments.WorkloadPeriodic, Degree: l, Seed: 9,
+				Scheduler: agentring.Synchronous,
+			})
+		})
+	}
+}
+
+// BenchmarkFig3LowerBound measures the Theorem 1 configuration: all
+// agents clustered in a quarter arc, forcing >= kn/16 total moves for
+// every algorithm.
+func BenchmarkFig3LowerBound(b *testing.B) {
+	const n, k = 256, 32
+	algs := []agentring.Algorithm{agentring.Native, agentring.LogSpace, agentring.Relaxed}
+	for _, alg := range algs {
+		b.Run(alg.String(), func(b *testing.B) {
+			var moves, floor int
+			for i := 0; i < b.N; i++ {
+				var err error
+				moves, floor, err = experiments.LowerBound(alg, n, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if moves < floor {
+				b.Fatalf("moves %d below Theorem 1 floor %d", moves, floor)
+			}
+			b.ReportMetric(float64(moves), "moves")
+			b.ReportMetric(float64(floor), "floor")
+		})
+	}
+}
+
+// BenchmarkFig7Impossibility replays the Theorem 5 pumping
+// construction: the estimate-then-halt algorithm succeeds on the base
+// ring and misdeploys on the pumped ring. The metric "pumpedUniform"
+// must stay 0.
+func BenchmarkFig7Impossibility(b *testing.B) {
+	base := []int{0, 1, 5, 7, 8, 10}
+	bigN, bigHomes, err := agentring.PumpedHomes(12, base, 5, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pumped agentring.Report
+	for i := 0; i < b.N; i++ {
+		pumped, err = agentring.Run(agentring.NaiveHalting, agentring.Config{N: bigN, Homes: bigHomes})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if pumped.Uniform {
+		b.Fatal("pumped ring must not be uniform under the naive algorithm")
+	}
+	b.ReportMetric(0, "pumpedUniform")
+	b.ReportMetric(float64(pumped.TotalMoves), "moves")
+}
+
+// BenchmarkFig9Recovery measures the misestimation-recovery scenario of
+// Fig 9 (n=27, k=9, one agent estimates correctly and fixes the rest).
+func BenchmarkFig9Recovery(b *testing.B) {
+	homes := []int{0, 11, 12, 15, 16, 19, 20, 23, 24}
+	var rep agentring.Report
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = agentring.Run(agentring.Relaxed, agentring.Config{N: 27, Homes: homes})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !rep.Uniform {
+		b.Fatalf("Fig 9 not uniform: %s", rep.Why)
+	}
+	b.ReportMetric(float64(rep.TotalMoves), "moves")
+	b.ReportMetric(float64(rep.MessagesSent), "msgs")
+}
+
+// BenchmarkFig11Periodic measures the (N,l)-periodic-ring case of
+// Fig 11 where every agent misestimates consistently yet uniform
+// deployment holds.
+func BenchmarkFig11Periodic(b *testing.B) {
+	homes := []int{0, 2, 6, 8} // gaps (2,4)^2 on a 12-ring
+	var rep agentring.Report
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = agentring.Run(agentring.Relaxed, agentring.Config{N: 12, Homes: homes})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !rep.Uniform {
+		b.Fatalf("Fig 11 not uniform: %s", rep.Why)
+	}
+	b.ReportMetric(float64(rep.TotalMoves), "moves")
+}
+
+// BenchmarkRendezvousContrast quantifies the intro's solvability
+// contrast: on a periodic configuration uniform deployment succeeds
+// while rendezvous is impossible. Reported metric "udUniform" must be 1.
+func BenchmarkRendezvousContrast(b *testing.B) {
+	homes, err := agentring.PeriodicHomes(24, 8, 4, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rep agentring.Report
+	for i := 0; i < b.N; i++ {
+		rep, err = agentring.Run(agentring.LogSpace, agentring.Config{N: 24, Homes: homes})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !rep.Uniform {
+		b.Fatal("uniform deployment must succeed where rendezvous cannot")
+	}
+	b.ReportMetric(1, "udUniform")
+	b.ReportMetric(float64(rep.TotalMoves), "moves")
+}
+
+// BenchmarkSchedulerAblation measures how the interleaving policy
+// affects cost (correctness must hold under all schedulers).
+func BenchmarkSchedulerAblation(b *testing.B) {
+	homes, err := agentring.RandomHomes(128, 16, 77)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scheds := map[string]agentring.SchedulerKind{
+		"roundrobin":  agentring.RoundRobin,
+		"random":      agentring.RandomSched,
+		"synchronous": agentring.Synchronous,
+		"adversarial": agentring.Adversarial,
+	}
+	for name, kind := range scheds {
+		b.Run(name, func(b *testing.B) {
+			var rep agentring.Report
+			for i := 0; i < b.N; i++ {
+				rep, err = agentring.Run(agentring.LogSpace, agentring.Config{
+					N: 128, Homes: homes, Scheduler: kind, Seed: 7, AdversaryBound: 16,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if !rep.Uniform {
+				b.Fatalf("not uniform under %s", name)
+			}
+			b.ReportMetric(float64(rep.TotalMoves), "moves")
+			b.ReportMetric(float64(rep.Steps), "steps")
+		})
+	}
+}
+
+// BenchmarkAlgorithmComparison runs all three paper algorithms plus the
+// first-fit ablation on one shared configuration, the cross-column
+// comparison of Table 1.
+func BenchmarkAlgorithmComparison(b *testing.B) {
+	const n, k = 256, 16
+	homes, err := agentring.RandomHomes(n, k, 123)
+	if err != nil {
+		b.Fatal(err)
+	}
+	algs := []agentring.Algorithm{
+		agentring.Native, agentring.NativeKnowN, agentring.LogSpace,
+		agentring.Relaxed, agentring.FirstFit,
+	}
+	for _, alg := range algs {
+		b.Run(alg.String(), func(b *testing.B) {
+			var rep agentring.Report
+			for i := 0; i < b.N; i++ {
+				rep, err = agentring.Run(alg, agentring.Config{
+					N: n, Homes: homes, Scheduler: agentring.Synchronous,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if alg != agentring.FirstFit && !rep.Uniform {
+				b.Fatalf("%s not uniform: %s", alg, rep.Why)
+			}
+			uniform := 0.0
+			if rep.Uniform {
+				uniform = 1.0
+			}
+			b.ReportMetric(uniform, "uniform")
+			b.ReportMetric(float64(rep.TotalMoves), "moves")
+			b.ReportMetric(float64(rep.Rounds), "rounds")
+			b.ReportMetric(float64(rep.PeakWords), "memwords")
+		})
+	}
+}
+
+// BenchmarkEngineThroughput measures raw simulator speed (atomic
+// actions per second) to contextualize the other numbers.
+func BenchmarkEngineThroughput(b *testing.B) {
+	homes, err := agentring.RandomHomes(512, 32, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rep agentring.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err = agentring.Run(agentring.Native, agentring.Config{N: 512, Homes: homes})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rep.Steps), "steps/run")
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLowerBoundOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "64", "-k", "8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Theorem 1", "native(k)", "logspace", "relaxed", "floor kn/16 = 32"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLowerBoundRejectsFatK(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "16", "-k", "8"}, &out); err == nil {
+		t.Error("k > n/4 must be rejected")
+	}
+}

@@ -1,0 +1,101 @@
+// Command ringviz renders an initial configuration and the final
+// deployment of a chosen algorithm as ASCII rings, plus the tail of the
+// execution trace. Handy for eyeballing what the algorithms do.
+//
+// Usage:
+//
+//	ringviz -n 24 -k 6 -alg logspace -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"agentring"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ringviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ringviz", flag.ContinueOnError)
+	var (
+		n       = fs.Int("n", 24, "ring size")
+		k       = fs.Int("k", 6, "agents")
+		algName = fs.String("alg", "native", "algorithm: native | logspace | relaxed")
+		seed    = fs.Int64("seed", 1, "seed")
+		events  = fs.Int("events", 24, "trace tail length to print")
+		st      = fs.Bool("spacetime", false, "render a space-time diagram instead")
+		stRows  = fs.Int("rows", 40, "max rows of the space-time diagram")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *st {
+		return spacetime(out, *n, *k, *algName, *seed, *stRows)
+	}
+	var alg agentring.Algorithm
+	switch *algName {
+	case "native":
+		alg = agentring.Native
+	case "logspace":
+		alg = agentring.LogSpace
+	case "relaxed":
+		alg = agentring.Relaxed
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algName)
+	}
+
+	homes, err := agentring.RandomHomes(*n, *k, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "initial configuration:")
+	fmt.Fprintln(out, renderRing(*n, homes))
+
+	rep, err := agentring.Run(alg, agentring.Config{
+		N: *n, Homes: homes, TraceCapacity: *events,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "final deployment:")
+	fmt.Fprintln(out, renderRing(*n, rep.Positions))
+	fmt.Fprintln(out, rep.Summary())
+	if rep.Trace != "" {
+		fmt.Fprintf(out, "\nlast %d trace events:\n%s", *events, rep.Trace)
+	}
+	return nil
+}
+
+// renderRing draws the ring as a line of cells; agents are 'A', empty
+// nodes '.', with a node-index ruler every 10 cells.
+func renderRing(n int, occupied []int) string {
+	cells := make([]byte, n)
+	for i := range cells {
+		cells[i] = '.'
+	}
+	for _, p := range occupied {
+		if p >= 0 && p < n {
+			if cells[p] == 'A' {
+				cells[p] = '2' // collision marker
+			} else {
+				cells[p] = 'A'
+			}
+		}
+	}
+	var ruler strings.Builder
+	for i := 0; i < n; i++ {
+		if i%10 == 0 {
+			ruler.WriteString(fmt.Sprintf("%-10d", i))
+		}
+	}
+	return string(cells) + "\n" + ruler.String()[:n]
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRingvizOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "20", "-k", "4", "-alg", "native"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "initial configuration:") || !strings.Contains(s, "final deployment:") {
+		t.Errorf("missing sections:\n%s", s)
+	}
+	if strings.Count(s, "A") < 8 { // 4 agents in each of two renderings
+		t.Errorf("agents not rendered:\n%s", s)
+	}
+}
+
+func TestRingvizAlgorithms(t *testing.T) {
+	for _, alg := range []string{"native", "logspace", "relaxed"} {
+		var out bytes.Buffer
+		if err := run([]string{"-n", "16", "-k", "3", "-alg", alg}, &out); err != nil {
+			t.Errorf("alg %s: %v", alg, err)
+		}
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-alg", "bogus"}, &out); err == nil {
+		t.Error("bogus algorithm must error")
+	}
+}
+
+func TestRingvizSpacetime(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "30", "-k", "3", "-spacetime", "-rows", "8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "space-time diagram") {
+		t.Errorf("missing header:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) < 5 {
+		t.Errorf("too few diagram rows:\n%s", s)
+	}
+	// Every diagram row renders all 30 nodes.
+	for _, line := range lines[1:] {
+		if got := len(strings.TrimSpace(line)); got < 30 {
+			t.Errorf("short row %q", line)
+		}
+	}
+}
+
+func TestRingvizSpacetimeLimits(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "500", "-k", "3", "-spacetime"}, &out); err == nil {
+		t.Error("n > 200 must be rejected in spacetime mode")
+	}
+	if err := run([]string{"-n", "20", "-k", "3", "-alg", "bogus", "-spacetime"}, &out); err == nil {
+		t.Error("bogus algorithm must error in spacetime mode")
+	}
+}
+
+func TestRenderFrame(t *testing.T) {
+	got := renderFrame([]int{-1, 0, 1, 3})
+	if got != ".A24" {
+		t.Errorf("renderFrame = %q, want .A24", got)
+	}
+}
+
+func TestRenderRing(t *testing.T) {
+	s := renderRing(12, []int{0, 3, 3})
+	if !strings.HasPrefix(s, "A..2") {
+		t.Errorf("collision marker missing: %q", s)
+	}
+	if !strings.Contains(s, "\n0") {
+		t.Errorf("ruler missing: %q", s)
+	}
+}

@@ -1,0 +1,94 @@
+// Command sweep regenerates the empirical content of the paper's
+// Table 1: for each algorithm it sweeps (n, k) grids — and symmetry
+// degrees for the relaxed algorithm — and prints measured total moves,
+// ideal time (rounds), and peak per-agent memory.
+//
+// Usage:
+//
+//	sweep                 # all algorithms, default grid
+//	sweep -alg relaxed    # only the relaxed-algorithm degree sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"agentring"
+	"agentring/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		algName = fs.String("alg", "all", "algorithm: native | logspace | relaxed | all")
+		seed    = fs.Int64("seed", 1, "base seed")
+		big     = fs.Bool("big", false, "use the larger grid (slower)")
+		chart   = fs.Bool("chart", false, "append ASCII bar charts of total moves")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ns := []int{64, 128, 256}
+	ks := []int{4, 8, 16, 32}
+	if *big {
+		ns = []int{64, 256, 1024, 4096}
+		ks = []int{4, 16, 64, 256}
+	}
+
+	if *algName == "native" || *algName == "all" {
+		fmt.Fprintln(out, "== Table 1, column 1: Algorithm 1 (knows k) — O(k log n) memory, O(n) time, O(kn) moves ==")
+		rows, err := experiments.Table1Sweep(agentring.Native, ns, ks, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.FormatRows(rows))
+		fmt.Fprintln(out)
+	}
+	if *algName == "logspace" || *algName == "all" {
+		fmt.Fprintln(out, "== Table 1, column 2: Algorithms 2+3 (knows k) — O(log n) memory, O(n log k) time, O(kn) moves ==")
+		rows, err := experiments.Table1Sweep(agentring.LogSpace, ns, ks, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.FormatRows(rows))
+		fmt.Fprintln(out)
+	}
+	if *algName == "relaxed" || *algName == "all" {
+		fmt.Fprintln(out, "== Table 1, column 4: relaxed algorithm (no knowledge) — everything scales with 1/l ==")
+		n, k := 256, 16
+		if *big {
+			n, k = 1024, 32
+		}
+		degrees := divisorsUpTo(k)
+		rows, err := experiments.DegreeSweep(n, k, degrees, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, experiments.FormatRows(rows))
+		if *chart {
+			fmt.Fprint(out, experiments.MovesChart("total moves vs symmetry degree (the 1/l adaptivity):", rows))
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+func divisorsUpTo(k int) []int {
+	var out []int
+	for d := 1; d <= k; d++ {
+		if k%d == 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}

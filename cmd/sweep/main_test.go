@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSweepNative(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-alg", "native"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "column 1") || !strings.Contains(s, "native(k)") {
+		t.Errorf("missing native sweep:\n%s", s)
+	}
+	if strings.Contains(s, "column 2") {
+		t.Error("logspace sweep printed despite -alg native")
+	}
+}
+
+func TestSweepRelaxedDegrees(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-alg", "relaxed"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "column 4") || !strings.Contains(s, "periodic/16") {
+		t.Errorf("missing degree sweep rows:\n%s", s)
+	}
+}
+
+func TestDivisorsUpTo(t *testing.T) {
+	got := divisorsUpTo(12)
+	want := []int{1, 2, 3, 4, 6, 12}
+	if len(got) != len(want) {
+		t.Fatalf("divisors = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("divisors = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSweepBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-alg"}, &out); err == nil {
+		t.Error("dangling flag must error")
+	}
+}

@@ -1,0 +1,150 @@
+// Command uniformdeploy runs one uniform-deployment algorithm on one
+// ring configuration and prints the outcome.
+//
+// Usage:
+//
+//	uniformdeploy -n 48 -k 8 -alg relaxed -workload periodic -degree 4
+//	uniformdeploy -n 16 -homes 0,1,5,11 -alg native -sched sync
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"agentring"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "uniformdeploy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("uniformdeploy", flag.ContinueOnError)
+	var (
+		n        = fs.Int("n", 16, "ring size")
+		k        = fs.Int("k", 4, "number of agents (ignored when -homes is given)")
+		algName  = fs.String("alg", "native", "algorithm: native | native-n | logspace | relaxed | naive | firstfit")
+		workload = fs.String("workload", "random", "initial configuration: random | clustered | uniform | periodic")
+		degree   = fs.Int("degree", 1, "symmetry degree for -workload periodic")
+		seed     = fs.Int64("seed", 1, "workload / scheduler seed")
+		sched    = fs.String("sched", "roundrobin", "scheduler: roundrobin | random | sync | adversarial")
+		homesCSV = fs.String("homes", "", "explicit comma-separated home nodes (overrides -workload)")
+		trace    = fs.Int("trace", 0, "record up to this many trace events")
+		verbose  = fs.Bool("v", false, "print per-agent outcomes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	alg, err := parseAlgorithm(*algName)
+	if err != nil {
+		return err
+	}
+	schedKind, err := parseScheduler(*sched)
+	if err != nil {
+		return err
+	}
+	homes, err := buildHomes(*homesCSV, *workload, *n, *k, *degree, *seed)
+	if err != nil {
+		return err
+	}
+
+	rep, err := agentring.Run(alg, agentring.Config{
+		N:             *n,
+		Homes:         homes,
+		Scheduler:     schedKind,
+		Seed:          *seed,
+		TraceCapacity: *trace,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, rep.Summary())
+	if *verbose {
+		fmt.Fprintf(out, "\n%-6s %-6s %-6s %-7s %-9s %s\n", "agent", "home", "node", "moves", "memwords", "state")
+		for i, a := range rep.Agents {
+			state := "suspended"
+			if a.Halted {
+				state = "halted"
+			}
+			fmt.Fprintf(out, "%-6d %-6d %-6d %-7d %-9d %s\n", i, a.Home, a.Node, a.Moves, a.PeakWords, state)
+		}
+	}
+	if rep.Trace != "" {
+		fmt.Fprintln(out, "\ntrace:")
+		fmt.Fprint(out, rep.Trace)
+	}
+	if !rep.Uniform {
+		return fmt.Errorf("deployment not uniform: %s", rep.Why)
+	}
+	return nil
+}
+
+func parseAlgorithm(name string) (agentring.Algorithm, error) {
+	switch name {
+	case "native":
+		return agentring.Native, nil
+	case "native-n":
+		return agentring.NativeKnowN, nil
+	case "logspace":
+		return agentring.LogSpace, nil
+	case "relaxed":
+		return agentring.Relaxed, nil
+	case "naive":
+		return agentring.NaiveHalting, nil
+	case "firstfit":
+		return agentring.FirstFit, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func parseScheduler(name string) (agentring.SchedulerKind, error) {
+	switch name {
+	case "roundrobin":
+		return agentring.RoundRobin, nil
+	case "random":
+		return agentring.RandomSched, nil
+	case "sync":
+		return agentring.Synchronous, nil
+	case "adversarial":
+		return agentring.Adversarial, nil
+	default:
+		return 0, fmt.Errorf("unknown scheduler %q", name)
+	}
+}
+
+func buildHomes(csv, workload string, n, k, degree int, seed int64) ([]int, error) {
+	if csv != "" {
+		parts := strings.Split(csv, ",")
+		homes := make([]int, 0, len(parts))
+		for _, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return nil, fmt.Errorf("bad home %q: %w", p, err)
+			}
+			homes = append(homes, v)
+		}
+		return homes, nil
+	}
+	switch workload {
+	case "random":
+		return agentring.RandomHomes(n, k, seed)
+	case "clustered":
+		return agentring.ClusteredHomes(n, k)
+	case "uniform":
+		return agentring.UniformHomes(n, k)
+	case "periodic":
+		return agentring.PeriodicHomes(n, k, degree, seed)
+	default:
+		return nil, errors.New("unknown workload " + workload)
+	}
+}

@@ -1,0 +1,75 @@
+package agentring
+
+import (
+	"fmt"
+	"time"
+
+	"agentring/internal/netsim"
+)
+
+// RunConcurrent executes the chosen algorithm on the message-passing
+// substrate (internal/netsim): every ring node is its own goroutine,
+// links are FIFO channels, and agents migrate as serialized JSON state
+// machines — the "agents are implemented as messages" realization the
+// paper's model section appeals to.
+//
+// Unlike Run, executions are truly parallel and the interleaving is
+// whatever the Go scheduler produces; the returned Report therefore
+// omits the scheduler-dependent measures (Rounds, Steps, memory
+// metering). Final positions are still deterministic for Native and
+// Relaxed (pure functions of the token geometry); for LogSpace the
+// target-node *set* is deterministic while the per-agent assignment may
+// vary. Supported algorithms: Native, LogSpace, Relaxed.
+func RunConcurrent(alg Algorithm, cfg Config) (Report, error) {
+	if cfg.N < 1 {
+		return Report{}, fmt.Errorf("%w: ring size %d", ErrConfig, cfg.N)
+	}
+	k := len(cfg.Homes)
+	if k < 1 {
+		return Report{}, fmt.Errorf("%w: no agents", ErrConfig)
+	}
+	machines := make([]netsim.Machine, k)
+	for i := range machines {
+		switch alg {
+		case Native:
+			machines[i] = netsim.Alg1Machine{K: k}
+		case LogSpace:
+			machines[i] = netsim.Alg2Machine{K: k}
+		case Relaxed:
+			machines[i] = netsim.RelaxedMachine{}
+		default:
+			return Report{}, fmt.Errorf("%w: algorithm %s has no concurrent state machine", ErrConfig, alg)
+		}
+	}
+	res, err := netsim.Run(cfg.N, cfg.Homes, machines, netsim.Options{Timeout: 2 * time.Minute})
+	if err != nil {
+		return Report{}, fmt.Errorf("concurrent run: %w", err)
+	}
+	rep := Report{
+		Algorithm:  alg,
+		N:          cfg.N,
+		K:          k,
+		TotalMoves: res.TotalMoves,
+		Positions:  res.Positions(),
+		Agents:     make([]AgentOutcome, k),
+	}
+	if deg, err := SymmetryDegree(cfg.N, cfg.Homes); err == nil {
+		rep.SymmetryDegree = deg
+	}
+	for i, a := range res.Agents {
+		rep.Agents[i] = AgentOutcome{
+			Home:      cfg.Homes[i],
+			Node:      a.Node,
+			Moves:     a.Moves,
+			Halted:    a.Halted,
+			Suspended: !a.Halted,
+		}
+		if a.Moves > rep.MaxMoves {
+			rep.MaxMoves = a.Moves
+		}
+	}
+	rep.Why = explainInts(cfg.N, rep.Positions)
+	rep.Uniform = rep.Why == ""
+	rep.Gaps = gapsInts(cfg.N, rep.Positions)
+	return rep, nil
+}

@@ -1,0 +1,72 @@
+package agentring_test
+
+import (
+	"errors"
+	"testing"
+
+	"agentring"
+)
+
+func TestRunConcurrentNative(t *testing.T) {
+	homes, err := agentring.RandomHomes(36, 6, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := agentring.RunConcurrent(agentring.Native, agentring.Config{N: 36, Homes: homes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Uniform {
+		t.Fatalf("not uniform: %s", rep.Why)
+	}
+	for _, a := range rep.Agents {
+		if !a.Halted {
+			t.Error("native agents must halt")
+		}
+	}
+	// The serial engine must agree on every final position.
+	serial, err := agentring.Run(agentring.Native, agentring.Config{N: 36, Homes: homes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range homes {
+		if serial.Positions[i] != rep.Positions[i] {
+			t.Errorf("agent %d: serial %d vs concurrent %d", i, serial.Positions[i], rep.Positions[i])
+		}
+	}
+}
+
+func TestRunConcurrentLogSpaceAndRelaxed(t *testing.T) {
+	homes, err := agentring.RandomHomes(30, 5, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []agentring.Algorithm{agentring.LogSpace, agentring.Relaxed} {
+		rep, err := agentring.RunConcurrent(alg, agentring.Config{N: 30, Homes: homes})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if !rep.Uniform {
+			t.Fatalf("%s: not uniform: %s", alg, rep.Why)
+		}
+		if alg == agentring.Relaxed {
+			for _, a := range rep.Agents {
+				if !a.Suspended {
+					t.Error("relaxed agents must end suspended")
+				}
+			}
+		}
+	}
+}
+
+func TestRunConcurrentErrors(t *testing.T) {
+	if _, err := agentring.RunConcurrent(agentring.Native, agentring.Config{N: 0, Homes: []int{0}}); !errors.Is(err, agentring.ErrConfig) {
+		t.Errorf("bad n err = %v", err)
+	}
+	if _, err := agentring.RunConcurrent(agentring.Native, agentring.Config{N: 4}); !errors.Is(err, agentring.ErrConfig) {
+		t.Errorf("no agents err = %v", err)
+	}
+	if _, err := agentring.RunConcurrent(agentring.FirstFit, agentring.Config{N: 4, Homes: []int{0}}); !errors.Is(err, agentring.ErrConfig) {
+		t.Errorf("unsupported algorithm err = %v", err)
+	}
+}

@@ -1,0 +1,81 @@
+package agentring_test
+
+import (
+	"fmt"
+	"log"
+
+	"agentring"
+)
+
+// ExampleRun deploys four agents on the paper's Fig 2 ring.
+func ExampleRun() {
+	report, err := agentring.Run(agentring.Native, agentring.Config{
+		N:     16,
+		Homes: []int{0, 1, 5, 11},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.Uniform)
+	fmt.Println(report.Gaps)
+	// Output:
+	// true
+	// [4 4 4 4]
+}
+
+// ExampleRun_relaxed shows the no-knowledge algorithm ending suspended
+// rather than halted (Theorem 5 makes termination detection impossible).
+func ExampleRun_relaxed() {
+	report, err := agentring.Run(agentring.Relaxed, agentring.Config{
+		N:     12,
+		Homes: []int{0, 2, 6, 8}, // gaps (2,4)^2: symmetry degree 2
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.Uniform)
+	fmt.Println(report.SymmetryDegree)
+	fmt.Println(report.Agents[0].Suspended)
+	// Output:
+	// true
+	// 2
+	// true
+}
+
+// ExampleSymmetryDegree computes the paper's Fig 1 symmetry degrees.
+func ExampleSymmetryDegree() {
+	// Fig 1(a): gaps (1,4,2,1,2,2) — aperiodic.
+	a, _ := agentring.SymmetryDegree(12, []int{0, 1, 5, 7, 8, 10})
+	// Fig 1(b): gaps (1,2,3,1,2,3) — twice an aperiodic pattern.
+	b, _ := agentring.SymmetryDegree(12, []int{0, 1, 3, 6, 7, 9})
+	fmt.Println(a, b)
+	// Output:
+	// 1 2
+}
+
+// ExampleRunOnTree runs the Section 5 extension on a small tree.
+func ExampleRunOnTree() {
+	// A path 0-1-2-3-4; agents clustered at one end.
+	tree, err := agentring.NewTree(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := agentring.RunOnTree(agentring.Native, tree, 0, []int{0, 1}, agentring.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.VirtualRingSize)
+	fmt.Println(rep.Ring.Uniform)
+	// Output:
+	// 8
+	// true
+}
+
+// ExampleIsUniform checks placements directly.
+func ExampleIsUniform() {
+	fmt.Println(agentring.IsUniform(10, []int{0, 3, 6}))
+	fmt.Println(agentring.IsUniform(10, []int{0, 1, 2}))
+	// Output:
+	// true
+	// false
+}

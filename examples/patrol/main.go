@@ -1,0 +1,75 @@
+// Patrol: the paper's network-management motivation (Section 1.1).
+//
+// A ring of 60 routers must each be visited regularly by a maintenance
+// agent (software updates, health checks). The k=6 agents are injected
+// at whatever routers the operator happened to use, all clustered in
+// one corner of the ring. The worst router then waits almost a full
+// ring circumference between visits.
+//
+// Running the log-space uniform deployment algorithm (the agents know
+// only k) spreads them so every router is at most ⌈n/k⌉ hops from the
+// previous agent: the patrol interval drops from O(n) to n/k.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"agentring"
+)
+
+func main() {
+	const n, k = 60, 6
+	homes, err := agentring.ClusteredHomes(n, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("ring of %d routers, %d maintenance agents injected at routers %v\n", n, k, homes)
+	fmt.Printf("worst patrol interval before deployment: %d hops\n", worstGap(n, homes))
+
+	report, err := agentring.Run(agentring.LogSpace, agentring.Config{N: n, Homes: homes})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !report.Uniform {
+		log.Fatalf("deployment failed: %s", report.Why)
+	}
+
+	fmt.Printf("agents redeployed to routers %v\n", report.Positions)
+	fmt.Printf("worst patrol interval after deployment:  %d hops (optimal is ceil(n/k) = %d)\n",
+		worstGap(n, report.Positions), (n+k-1)/k)
+	fmt.Printf("cost: %d total agent moves, %d words of memory per agent\n",
+		report.TotalMoves, report.PeakWords)
+}
+
+// worstGap returns the largest hop distance from any router to the next
+// agent position behind it, i.e. the worst-case patrol interval.
+func worstGap(n int, positions []int) int {
+	worst := 0
+	for _, g := range gaps(n, positions) {
+		if g > worst {
+			worst = g
+		}
+	}
+	return worst
+}
+
+func gaps(n int, positions []int) []int {
+	sorted := append([]int(nil), positions...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	out := make([]int, len(sorted))
+	for i := range sorted {
+		next := sorted[(i+1)%len(sorted)]
+		d := next - sorted[i]
+		if d <= 0 {
+			d += n
+		}
+		out[i] = d
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+// Quickstart: uniform deployment on the paper's Fig 2 ring (n=16,
+// k=4). Four anonymous agents start bunched near node 0, run
+// Algorithm 1 with knowledge of k, and end exactly 4 nodes apart.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"agentring"
+)
+
+func main() {
+	report, err := agentring.Run(agentring.Native, agentring.Config{
+		N:     16,
+		Homes: []int{0, 1, 5, 11},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(report.Summary())
+	fmt.Println()
+	fmt.Println("agent  home -> final node (moves)")
+	for i, a := range report.Agents {
+		fmt.Printf("  %d     %2d  ->  %2d  (%d moves)\n", i, a.Home, a.Node, a.Moves)
+	}
+	if !report.Uniform {
+		log.Fatalf("expected uniform deployment, got: %s", report.Why)
+	}
+	fmt.Println("\nall adjacent gaps are n/k = 4: uniform deployment with termination detection.")
+}

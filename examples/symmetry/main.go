@@ -1,0 +1,46 @@
+// Symmetry: the adaptivity property of the relaxed algorithm
+// (Section 4.2, Table 1 column 4).
+//
+// The relaxed algorithm's cost depends on the symmetry degree l of the
+// initial configuration: the more symmetric the starting placement
+// (the closer it already is to uniform), the less work the agents do —
+// O(kn/l) total moves, O(n/l) time, O((k/l) log(n/l)) memory. This
+// example sweeps l over the divisors of k on one ring and prints the
+// measured adaptivity, including the extremes the paper highlights:
+// l=1 (asymmetric: full O(kn) cost) and l=k (already uniform: O(n)
+// total moves).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"agentring"
+)
+
+func main() {
+	const n, k = 240, 12
+	fmt.Printf("relaxed algorithm on n=%d, k=%d, sweeping the symmetry degree l:\n\n", n, k)
+	fmt.Printf("%4s %12s %12s %10s %10s\n", "l", "total moves", "max/agent", "rounds", "memwords")
+
+	for _, l := range []int{1, 2, 3, 4, 6, 12} {
+		homes, err := agentring.PeriodicHomes(n, k, l, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := agentring.Run(agentring.Relaxed, agentring.Config{
+			N: n, Homes: homes, Scheduler: agentring.Synchronous,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !report.Uniform {
+			log.Fatalf("l=%d: deployment failed: %s", l, report.Why)
+		}
+		fmt.Printf("%4d %12d %12d %10d %10d\n",
+			l, report.TotalMoves, report.MaxMoves, report.Rounds, report.PeakWords)
+	}
+
+	fmt.Println("\nevery column shrinks as l grows: the algorithm exploits the symmetry")
+	fmt.Println("it is asked to attain instead of breaking it — the paper's key theme.")
+}

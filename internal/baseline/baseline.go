@@ -1,0 +1,58 @@
+// Package baseline provides FirstFit, a coordination-free scatter
+// heuristic that ablates away the paper's base-node selection: every
+// agent knows n and k, walks the ring in strides of ⌊n/k⌋ from its own
+// home, and parks at the first stride point where no other agent stays.
+//
+// Because the agents never agree on a common reference node, their
+// stride lattices are mutually shifted and exact uniform deployment is
+// achieved only by luck. The experiments use it to show that the hard
+// part of the problem is electing the common base, not walking to
+// evenly spaced targets.
+package baseline
+
+import (
+	"fmt"
+
+	"agentring/internal/sim"
+)
+
+type firstFit struct {
+	n, k int
+}
+
+var _ sim.Program = (*firstFit)(nil)
+
+// NewFirstFit returns the uncoordinated strawman. maxLaps bounds how
+// long an agent hunts for a vacant stride point before giving up and
+// halting wherever it stands (the heuristic has no termination
+// guarantee of its own).
+func NewFirstFit(n, k int) (sim.Program, error) {
+	if n < 1 || k < 1 || k > n {
+		return nil, fmt.Errorf("baseline: invalid n=%d k=%d", n, k)
+	}
+	return &firstFit{n: n, k: k}, nil
+}
+
+// Run implements sim.Program.
+func (p *firstFit) Run(api sim.API) error {
+	m := api.Meter()
+	m.Set(4)
+	stride := p.n / p.k
+	if stride == 0 {
+		stride = 1
+	}
+	// Hunt stride points for at most 2 laps, then give up in place. The
+	// agent always strides at least once so the heuristic actually
+	// scatters instead of trivially declaring its own home a stride
+	// point.
+	maxHops := 2 * p.k
+	for hop := 0; hop < maxHops; hop++ {
+		for i := 0; i < stride; i++ {
+			api.Move()
+		}
+		if api.AgentsHere() == 0 {
+			return nil
+		}
+	}
+	return nil // park wherever we are; likely not uniform
+}

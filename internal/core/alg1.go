@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"agentring/internal/seq"
+	"agentring/internal/sim"
+)
+
+// Knowledge says which global quantity an Algorithm-1 agent was given.
+// The paper gives agents k; footnote 2 notes knowledge of n works the
+// same way (each yields the other after one circuit).
+type Knowledge int
+
+// Knowledge kinds.
+const (
+	// KnowAgents means the agent knows k, the number of agents, and
+	// detects circuit completion by counting k token nodes.
+	KnowAgents Knowledge = iota + 1
+	// KnowNodes means the agent knows n, the number of nodes, and
+	// detects circuit completion by counting n moves.
+	KnowNodes
+)
+
+// alg1 is the native O(k log n)-memory algorithm of Section 3.1.
+type alg1 struct {
+	know  Knowledge
+	value int // k if KnowAgents, n if KnowNodes
+}
+
+var _ sim.Program = (*alg1)(nil)
+
+// NewAlg1 returns an Algorithm 1 program. Every agent in a run must be
+// given the same (correct) knowledge.
+func NewAlg1(know Knowledge, value int) (sim.Program, error) {
+	switch know {
+	case KnowAgents, KnowNodes:
+	default:
+		return nil, fmt.Errorf("%w: unknown knowledge kind %d", ErrBadParam, know)
+	}
+	if value < 1 {
+		return nil, fmt.Errorf("%w: knowledge value %d", ErrBadParam, value)
+	}
+	return &alg1{know: know, value: value}, nil
+}
+
+// Run implements sim.Program. It follows the paper's Algorithm 1:
+// selection phase (one circuit collecting the distance sequence D), then
+// deployment phase (move to the base node, then to the rank-th target).
+func (p *alg1) Run(api sim.API) error {
+	m := api.Meter()
+	const scalars = 6 // j, dis, n, rank, disBase, moved
+	m.Set(scalars)
+
+	// Selection phase: release the token, travel once around the ring,
+	// recording the distance between consecutive token nodes.
+	api.ReleaseToken()
+	var d []int
+	moved := 0
+	for {
+		dis := 0
+		for {
+			api.Move()
+			moved++
+			dis++
+			if api.TokensHere() > 0 {
+				break
+			}
+		}
+		d = append(d, dis)
+		m.Set(scalars + len(d))
+		if p.circuitDone(len(d), moved) {
+			break
+		}
+	}
+	n := moved // one full circuit
+	k := len(d)
+	if p.know == KnowNodes && n != p.value {
+		return fmt.Errorf("%w: moved %d nodes, expected circuit of %d", ErrInvariant, n, p.value)
+	}
+	if p.know == KnowAgents && k != p.value {
+		return fmt.Errorf("%w: observed %d tokens, expected %d", ErrInvariant, k, p.value)
+	}
+	if seq.Sum(d) != n {
+		return fmt.Errorf("%w: distance sequence sums to %d, circuit length %d", ErrInvariant, seq.Sum(d), n)
+	}
+
+	// Deployment phase: the agent whose distance sequence is the
+	// lexicographic minimum marks the base node; rank is the shift
+	// reaching that minimum.
+	rank := seq.MinRotation(d)
+	disBase := seq.Sum(d[:rank])
+	b := seq.SymmetryDegree(d) // number of base nodes (Section 3.1: all rotation minima)
+	offset, err := TargetOffset(n, k, b, rank)
+	if err != nil {
+		return fmt.Errorf("target for rank %d: %w", rank, err)
+	}
+	for i := 0; i < disBase+offset; i++ {
+		api.Move()
+	}
+	// Returning enters the halt state: termination detection achieved.
+	return nil
+}
+
+// circuitDone reports whether the selection-phase traversal has
+// completed one circuit.
+func (p *alg1) circuitDone(tokensSeen, moved int) bool {
+	if p.know == KnowAgents {
+		return tokensSeen == p.value
+	}
+	return moved >= p.value
+}

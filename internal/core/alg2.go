@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+
+	"agentring/internal/sim"
+)
+
+// activeID is the (distance, follower-count) identifier an active agent
+// derives in each selection sub-phase (Fig 6): d is the distance from
+// its home node to the next active node, fNum the number of follower
+// nodes in between. IDs compare lexicographically.
+type activeID struct {
+	d    int
+	fNum int
+}
+
+func (a activeID) less(b activeID) bool {
+	return a.d < b.d || (a.d == b.d && a.fNum < b.fNum)
+}
+
+func (a activeID) equal(b activeID) bool { return a == b }
+
+// deployMsg is the message a leader broadcasts to each follower at the
+// start of the deployment phase (Algorithm 3): how many tokens the
+// follower must observe to reach the nearest base node, plus the global
+// quantities it needs to walk the target schedule. Messages may be of
+// any size in the model; this one is O(log n) bits.
+type deployMsg struct {
+	TBase int // tokens to observe before reaching the base node
+	N     int // ring size, learned by leaders in the first sub-phase
+	K     int // number of agents
+	B     int // number of base nodes
+}
+
+// SelectionStats records how an agent left Algorithm 2's selection
+// phase; used to validate the ⌈log₂ k⌉ sub-phase bound empirically.
+type SelectionStats struct {
+	// SubPhases is the number of completed selection sub-phases before
+	// the decision.
+	SubPhases int
+	// Leader reports whether the agent's home became a base node.
+	Leader bool
+}
+
+// alg2 is the O(log n)-memory algorithm of Section 3.2 (Algorithms 2
+// and 3): cooperative base-node selection by repeated halving of the
+// active-agent set, then leader/follower deployment.
+type alg2 struct {
+	k int
+	// onDecide, when set, is invoked once as the agent leaves the
+	// selection phase. It runs on the agent's goroutine during its
+	// atomic action (the engine serializes activations, so plain shared
+	// state is safe for collectors).
+	onDecide func(SelectionStats)
+}
+
+var _ sim.Program = (*alg2)(nil)
+
+// NewAlg2 returns an Algorithm 2+3 program for agents that know k.
+func NewAlg2(k int) (sim.Program, error) {
+	return NewAlg2Instrumented(k, nil)
+}
+
+// NewAlg2Instrumented is NewAlg2 with a selection-phase observation
+// hook (may be nil).
+func NewAlg2Instrumented(k int, onDecide func(SelectionStats)) (sim.Program, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w: k=%d", ErrBadParam, k)
+	}
+	return &alg2{k: k, onDecide: onDecide}, nil
+}
+
+func (p *alg2) decided(subPhases int, leader bool) {
+	if p.onDecide != nil {
+		p.onDecide(SelectionStats{SubPhases: subPhases, Leader: leader})
+	}
+}
+
+// Run implements sim.Program.
+func (p *alg2) Run(api sim.API) error {
+	m := api.Meter()
+	// The whole algorithm keeps O(1) words: two IDs (4 words), the
+	// scratch ID (2), n, k, and a handful of counters. No slice of
+	// distances is ever stored — that is the entire point of Section 3.2.
+	const words = 14
+	m.Set(words)
+
+	api.ReleaseToken()
+
+	n := 0 // learned during the first sub-phase circuit
+	// Selection phase (Algorithm 2): repeat sub-phases while active.
+	for subPhase := 1; ; subPhase++ {
+		tokensSeen := 0
+		circuit := 0
+		own, wrapped := p.nextActive(api, &tokensSeen, &circuit)
+		if wrapped {
+			// The agent walked the whole ring without meeting another
+			// active node: it is the unique active agent; its home is the
+			// unique base node. (Algorithm 2 line 6.)
+			if n == 0 {
+				n = circuit
+			}
+			p.decided(subPhase, true)
+			return p.leader(api, n, own.fNum)
+		}
+		next, wrapped := p.nextActive(api, &tokensSeen, &circuit)
+		identical := own.equal(next)
+		min := !next.less(own)
+		for !wrapped && tokensSeen < p.k {
+			var other activeID
+			other, wrapped = p.nextActive(api, &tokensSeen, &circuit)
+			if !own.equal(other) {
+				identical = false
+			}
+			if other.less(own) {
+				min = false
+			}
+		}
+		if tokensSeen != p.k {
+			return fmt.Errorf("%w: circuit ended after %d tokens, want %d", ErrInvariant, tokensSeen, p.k)
+		}
+		if n == 0 {
+			n = circuit
+		} else if n != circuit {
+			return fmt.Errorf("%w: circuit length changed %d -> %d", ErrInvariant, n, circuit)
+		}
+		if identical {
+			// All remaining active agents share the same ID: their homes
+			// satisfy the base-node conditions; everyone becomes a leader.
+			// own.d is the distance between adjacent base nodes, so the
+			// number of base nodes is n / own.d.
+			if own.d <= 0 || n%own.d != 0 {
+				return fmt.Errorf("%w: base distance %d does not divide n=%d", ErrInvariant, own.d, n)
+			}
+			p.decided(subPhase, true)
+			return p.leader(api, n, own.fNum)
+		}
+		if !min || own.equal(next) {
+			// Some agent has a strictly smaller ID, or the next active
+			// agent ties us: become a follower (Algorithm 2 line 16).
+			p.decided(subPhase, false)
+			return p.follower(api)
+		}
+		// Remain active: immediately begin the next sub-phase (the first
+		// move happens in this same atomic action, so no visitor can ever
+		// observe this agent staying at its home).
+	}
+}
+
+// nextActive moves forward to the next active node — the next node
+// holding a token with no agent staying — returning the distance
+// travelled and the number of follower nodes (token + staying agent)
+// passed. wrapped is true when the traversal has seen all k tokens,
+// i.e. the stop is the agent's own home.
+func (p *alg2) nextActive(api sim.API, tokensSeen, circuit *int) (activeID, bool) {
+	var id activeID
+	for {
+		api.Move()
+		id.d++
+		*circuit++
+		if api.TokensHere() == 0 {
+			continue
+		}
+		*tokensSeen++
+		if api.AgentsHere() == 0 {
+			return id, *tokensSeen == p.k
+		}
+		id.fNum++
+	}
+}
+
+// leader executes the leader side of the deployment phase (Algorithm 3):
+// walk to the next base node, handing each follower on the way the
+// count of tokens separating it from that base node, then halt there.
+func (p *alg2) leader(api sim.API, n, fNum int) error {
+	b := p.baseCount(api, n, fNum)
+	for t := 0; t < fNum; t++ {
+		p.moveToNextToken(api)
+		api.Broadcast(deployMsg{TBase: fNum - t, N: n, K: p.k, B: b})
+	}
+	p.moveToNextToken(api) // the next base node: this leader's target
+	return nil
+}
+
+// baseCount derives the number of base nodes. Between two adjacent base
+// nodes there are fNum follower homes, so each of the b segments holds
+// fNum+1 of the k homes.
+func (p *alg2) baseCount(api sim.API, n, fNum int) int {
+	_ = api
+	return p.k / (fNum + 1)
+}
+
+// moveToNextToken advances to the next node holding a token.
+func (p *alg2) moveToNextToken(api sim.API) {
+	for {
+		api.Move()
+		if api.TokensHere() > 0 {
+			return
+		}
+	}
+}
+
+// follower executes the follower side of the deployment phase
+// (Algorithm 3): wait for the leader's message, walk to the nearest
+// base node, then advance target slot by target slot until a vacant one
+// is found.
+func (p *alg2) follower(api sim.API) error {
+	var msg deployMsg
+	for {
+		msgs := api.AwaitMessages()
+		found := false
+		for _, raw := range msgs {
+			if dm, ok := raw.(deployMsg); ok {
+				msg, found = dm, true
+				break
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if msg.K != p.k {
+		return fmt.Errorf("%w: deploy message carries k=%d, agent knows %d", ErrInvariant, msg.K, p.k)
+	}
+	// Walk to the nearest base node: pass TBase tokens.
+	for seen := 0; seen < msg.TBase; {
+		api.Move()
+		if api.TokensHere() > 0 {
+			seen++
+		}
+	}
+	// Walk the target schedule: slot 0 is the base node itself (taken by
+	// its leader); check slots 1..k/b-1, wrapping across segments.
+	//
+	// Asynchrony caveat (a reproduction finding, see EXPERIMENTS.md):
+	// the paper's Theorem 4 bounds each follower at 2n moves, but a
+	// target slot can coincide with the home of a follower that has been
+	// informed yet not scheduled; a passing follower then skips the slot
+	// and may need extra laps until the squatter departs. Uniform
+	// deployment is still always reached; only the per-follower constant
+	// grows. We therefore cap the walk at (k+4)*n and flag anything
+	// beyond as a genuine invariant violation.
+	perSeg := msg.K / msg.B
+	slot := 0
+	for walked := 0; walked <= (msg.K+4)*msg.N; {
+		step, err := SlotInterval(msg.N, msg.K, msg.B, slot)
+		if err != nil {
+			return fmt.Errorf("slot schedule: %w", err)
+		}
+		for i := 0; i < step; i++ {
+			api.Move()
+		}
+		walked += step
+		slot = (slot + 1) % perSeg
+		if slot == 0 {
+			// Arrived at a base node: reserved for its leader, keep going.
+			continue
+		}
+		if api.AgentsHere() == 0 {
+			return nil // occupy this target and halt
+		}
+	}
+	return fmt.Errorf("%w: follower found no vacant target within (k+4)n moves", ErrInvariant)
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestTargetOffsetEvenDivision(t *testing.T) {
+	// n=16, k=4, single base: targets at 0,4,8,12 from the base.
+	for rank, want := range []int{0, 4, 8, 12} {
+		got, err := TargetOffset(16, 4, 1, rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("TargetOffset(16,4,1,%d) = %d, want %d", rank, got, want)
+		}
+	}
+}
+
+func TestTargetOffsetUnevenDivision(t *testing.T) {
+	// n=10, k=3, b=1, r=1: first interval is 4, remaining are 3:
+	// offsets 0, 4, 7.
+	for rank, want := range []int{0, 4, 7} {
+		got, err := TargetOffset(10, 3, 1, rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("TargetOffset(10,3,1,%d) = %d, want %d", rank, got, want)
+		}
+	}
+}
+
+func TestTargetOffsetMultipleBases(t *testing.T) {
+	// n=20, k=6, b=2: r=2, r/b=1, segments of length 10 with 3 targets:
+	// offsets 0, 4, 7 within each segment.
+	for rank, want := range []int{0, 4, 7} {
+		got, err := TargetOffset(20, 6, 2, rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("TargetOffset(20,6,2,%d) = %d, want %d", rank, got, want)
+		}
+	}
+}
+
+func TestTargetOffsetErrors(t *testing.T) {
+	cases := []struct{ n, k, b, rank int }{
+		{0, 1, 1, 0},   // n < 1
+		{4, 0, 1, 0},   // k < 1
+		{4, 2, 0, 0},   // b < 1
+		{4, 8, 1, 0},   // k > n
+		{12, 6, 4, 0},  // b does not divide k
+		{10, 5, 5, 0},  // b=5 divides k and n, rank ok -> actually valid; replaced below
+		{12, 6, 2, 3},  // rank outside segment
+		{12, 6, 2, -1}, // negative rank
+	}
+	for _, c := range cases {
+		if c.n == 10 && c.k == 5 {
+			continue // sanity placeholder, covered by the valid test below
+		}
+		if _, err := TargetOffset(c.n, c.k, c.b, c.rank); !errors.Is(err, ErrBadParam) {
+			t.Errorf("TargetOffset(%d,%d,%d,%d) err = %v, want ErrBadParam", c.n, c.k, c.b, c.rank, err)
+		}
+	}
+	if _, err := TargetOffset(10, 5, 5, 0); err != nil {
+		t.Errorf("TargetOffset(10,5,5,0) unexpected error: %v", err)
+	}
+}
+
+func TestTargetOffsetsProduceUniformSpacing(t *testing.T) {
+	// Property: the full multiset of targets across all segments tiles
+	// the ring with gaps in {floor, ceil} and exactly n mod k wide gaps.
+	f := func(nRaw, kRaw, bRaw uint8) bool {
+		n := int(nRaw%60) + 1
+		k := int(kRaw)%n + 1
+		// pick b among divisors of gcd-compatible values
+		b := int(bRaw)%k + 1
+		if k%b != 0 || n%b != 0 || (n%k)%b != 0 {
+			return true // not a legal base count; skip
+		}
+		floor, r := n/k, n%k
+		prev := -1
+		wide := 0
+		for seg := 0; seg < b; seg++ {
+			for rank := 0; rank < k/b; rank++ {
+				off, err := TargetOffset(n, k, b, rank)
+				if err != nil {
+					return false
+				}
+				abs := seg*(n/b) + off
+				if prev >= 0 {
+					gap := abs - prev
+					if gap != floor && gap != floor+1 {
+						return false
+					}
+					if gap == floor+1 {
+						wide++
+					}
+				}
+				prev = abs
+			}
+		}
+		// Closing gap back to the first target.
+		closing := n - prev
+		if closing != floor && closing != floor+1 {
+			return false
+		}
+		if closing == floor+1 {
+			wide++
+		}
+		if floor == floor+1-1 && r != 0 && wide != r {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlotInterval(t *testing.T) {
+	// n=10, k=3, b=1: slot intervals 4, 3, 3 (wrapping to the next base).
+	for slot, want := range []int{4, 3, 3} {
+		got, err := SlotInterval(10, 3, 1, slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("SlotInterval(10,3,1,%d) = %d, want %d", slot, got, want)
+		}
+	}
+	// Intervals around a segment must sum to the segment length n/b.
+	total := 0
+	for slot := 0; slot < 3; slot++ {
+		d, err := SlotInterval(20, 6, 2, slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += d
+	}
+	if total != 10 {
+		t.Errorf("segment intervals sum to %d, want 10", total)
+	}
+	if _, err := SlotInterval(10, 3, 1, 3); !errors.Is(err, ErrBadParam) {
+		t.Errorf("out-of-range slot err = %v, want ErrBadParam", err)
+	}
+}

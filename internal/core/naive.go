@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+
+	"agentring/internal/seq"
+	"agentring/internal/sim"
+)
+
+// naiveEstimator is the deliberately unsound algorithm used to replay
+// the Theorem 5 impossibility construction (Fig 7) empirically: it
+// estimates n and k with the fourfold-repetition rule — like the
+// relaxed algorithm — but then *halts* at its target as if the estimate
+// were knowledge, claiming termination detection without knowledge of k
+// or n.
+//
+// On an isolated ring R this behaves exactly like Algorithm 1 once the
+// estimate happens to be right. On the pumped ring R' (the initial
+// pattern of R repeated q+1 times followed by an empty stretch), agents
+// inside the repeated region observe the same prefix as in R, estimate
+// R's size, halt at R-spacing — and uniform deployment of R' (which
+// needs wider spacing) is violated. No algorithm can avoid this fate
+// (Theorem 5); this program exists to demonstrate the construction, not
+// to be used.
+type naiveEstimator struct{}
+
+var _ sim.Program = naiveEstimator{}
+
+// NewNaiveEstimator returns the estimate-then-halt straw-man program.
+func NewNaiveEstimator() sim.Program { return naiveEstimator{} }
+
+// Run implements sim.Program.
+func (naiveEstimator) Run(api sim.API) error {
+	m := api.Meter()
+	const scalars = 6
+	m.Set(scalars)
+
+	api.ReleaseToken()
+	var d []int
+	for {
+		dis := 0
+		for {
+			api.Move()
+			dis++
+			if api.TokensHere() > 0 {
+				break
+			}
+		}
+		d = append(d, dis)
+		m.Set(scalars + len(d))
+		if seq.FourfoldPrefix(d) {
+			break
+		}
+	}
+	kPrime := len(d) / 4
+	nPrime := seq.Sum(d[:kPrime])
+
+	fund := d[:kPrime]
+	rank := seq.MinRotation(fund)
+	disBase := seq.Sum(fund[:rank])
+	offset, err := TargetOffset(nPrime, kPrime, 1, rank)
+	if err != nil {
+		return fmt.Errorf("naive target: %w", err)
+	}
+	for i := 0; i < disBase+offset; i++ {
+		api.Move()
+	}
+	// Halting here is exactly the sin Theorem 5 proves fatal.
+	return nil
+}

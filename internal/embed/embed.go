@@ -1,0 +1,297 @@
+// Package embed implements the ring-embedding extension the paper
+// sketches as future work (Section 5): uniform deployment on tree
+// networks by running the ring algorithms on the virtual ring induced
+// by an Euler tour.
+//
+// An agent that traverses a tree depth-first visits 2(n-1) directed
+// edges and can treat the traversal as a unidirectional ring of 2(n-1)
+// virtual nodes; the paper notes the total moves on the embedded ring
+// and on the original network are asymptotically equivalent. General
+// graphs reduce to trees via a spanning tree.
+package embed
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Errors returned by tree construction and embedding.
+var (
+	ErrNotATree   = errors.New("embed: edge set is not a tree")
+	ErrBadNode    = errors.New("embed: node out of range")
+	ErrTooSmall   = errors.New("embed: tree needs at least 2 nodes for a tour")
+	ErrDuplicates = errors.New("embed: duplicate agent positions")
+)
+
+// Tree is an undirected tree on nodes 0..n-1.
+type Tree struct {
+	n   int
+	adj [][]int
+}
+
+// NewTree validates that the n-node edge set forms a tree (n-1 edges,
+// connected, no self-loops or duplicate edges) and returns it.
+// Adjacency lists are kept sorted so Euler tours are deterministic.
+func NewTree(n int, edges [][2]int) (*Tree, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadNode, n)
+	}
+	if len(edges) != n-1 {
+		return nil, fmt.Errorf("%w: %d edges for %d nodes", ErrNotATree, len(edges), n)
+	}
+	adj := make([][]int, n)
+	seen := make(map[[2]int]bool, len(edges))
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("%w: edge (%d,%d)", ErrBadNode, u, v)
+		}
+		if u == v {
+			return nil, fmt.Errorf("%w: self-loop at %d", ErrNotATree, u)
+		}
+		key := [2]int{min(u, v), max(u, v)}
+		if seen[key] {
+			return nil, fmt.Errorf("%w: duplicate edge (%d,%d)", ErrNotATree, u, v)
+		}
+		seen[key] = true
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	t := &Tree{n: n, adj: adj}
+	for _, nb := range t.adj {
+		sort.Ints(nb)
+	}
+	if !t.connected() {
+		return nil, fmt.Errorf("%w: not connected", ErrNotATree)
+	}
+	return t, nil
+}
+
+// Size returns the number of tree nodes.
+func (t *Tree) Size() int { return t.n }
+
+// Neighbors returns a copy of the sorted adjacency list of v.
+func (t *Tree) Neighbors(v int) ([]int, error) {
+	if v < 0 || v >= t.n {
+		return nil, fmt.Errorf("%w: %d", ErrBadNode, v)
+	}
+	return append([]int(nil), t.adj[v]...), nil
+}
+
+func (t *Tree) connected() bool {
+	visited := make([]bool, t.n)
+	stack := []int{0}
+	visited[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range t.adj[v] {
+			if !visited[w] {
+				visited[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == t.n
+}
+
+// EulerTour returns the virtual-ring node sequence of the depth-first
+// traversal rooted at root: tour[i] is the tree node occupied at
+// virtual position i, tour[0] = root, consecutive positions (cyclically)
+// are adjacent tree nodes, and len(tour) = 2(n-1). Trees need n >= 2.
+func (t *Tree) EulerTour(root int) ([]int, error) {
+	if root < 0 || root >= t.n {
+		return nil, fmt.Errorf("%w: root %d", ErrBadNode, root)
+	}
+	if t.n < 2 {
+		return nil, ErrTooSmall
+	}
+	tour := make([]int, 0, 2*(t.n-1))
+	// Iterative DFS emitting the node at each edge traversal; the final
+	// return to the root is implicit (the ring wraps).
+	type frame struct {
+		node, parent, idx int
+	}
+	stack := []frame{{node: root, parent: -1}}
+	tour = append(tour, root)
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		advanced := false
+		for f.idx < len(t.adj[f.node]) {
+			next := t.adj[f.node][f.idx]
+			f.idx++
+			if next == f.parent {
+				continue
+			}
+			tour = append(tour, next)
+			stack = append(stack, frame{node: next, parent: f.node})
+			advanced = true
+			break
+		}
+		if !advanced {
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				tour = append(tour, stack[len(stack)-1].node)
+			}
+		}
+	}
+	// The loop appends the root again when the DFS unwinds; drop the
+	// final element (the wrap is implicit in the ring).
+	tour = tour[:len(tour)-1]
+	if len(tour) != 2*(t.n-1) {
+		return nil, fmt.Errorf("embed: internal error: tour length %d, want %d", len(tour), 2*(t.n-1))
+	}
+	return tour, nil
+}
+
+// Embedding maps agents on tree nodes to homes on the Euler-tour
+// virtual ring.
+type Embedding struct {
+	Tree       *Tree
+	Root       int
+	Tour       []int // virtual position -> tree node
+	firstVisit []int // tree node -> first virtual position
+}
+
+// NewEmbedding builds the virtual ring for the tree rooted at root.
+func NewEmbedding(t *Tree, root int) (*Embedding, error) {
+	tour, err := t.EulerTour(root)
+	if err != nil {
+		return nil, err
+	}
+	first := make([]int, t.n)
+	for i := range first {
+		first[i] = -1
+	}
+	for pos, node := range tour {
+		if first[node] == -1 {
+			first[node] = pos
+		}
+	}
+	return &Embedding{Tree: t, Root: root, Tour: tour, firstVisit: first}, nil
+}
+
+// RingSize returns the virtual ring's size, 2(n-1).
+func (e *Embedding) RingSize() int { return len(e.Tour) }
+
+// VirtualHomes maps distinct tree positions to distinct virtual-ring
+// homes (each agent starts at the first Euler visit of its tree node).
+func (e *Embedding) VirtualHomes(treeNodes []int) ([]int, error) {
+	seen := make(map[int]bool, len(treeNodes))
+	homes := make([]int, len(treeNodes))
+	for i, v := range treeNodes {
+		if v < 0 || v >= e.Tree.n {
+			return nil, fmt.Errorf("%w: agent at %d", ErrBadNode, v)
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("%w: node %d", ErrDuplicates, v)
+		}
+		seen[v] = true
+		homes[i] = e.firstVisit[v]
+	}
+	return homes, nil
+}
+
+// TreePositions maps final virtual-ring positions back to tree nodes.
+// Distinct virtual positions may project to the same tree node (each
+// tree edge appears twice in the tour), so tree-level positions are a
+// multiset; the deployment quality on the tree is therefore assessed by
+// coverage (see Coverage), not by exact uniformity.
+func (e *Embedding) TreePositions(virtual []int) ([]int, error) {
+	out := make([]int, len(virtual))
+	for i, p := range virtual {
+		if p < 0 || p >= len(e.Tour) {
+			return nil, fmt.Errorf("%w: virtual position %d", ErrBadNode, p)
+		}
+		out[i] = e.Tour[p]
+	}
+	return out, nil
+}
+
+// Coverage returns, over all tree nodes, the worst and mean tree
+// distance (in edges) to the nearest of the given agent nodes — the
+// patrol/access quality measure the paper's motivation cares about.
+func (t *Tree) Coverage(agents []int) (worst int, mean float64, err error) {
+	if len(agents) == 0 {
+		return 0, 0, fmt.Errorf("%w: no agents", ErrBadNode)
+	}
+	const unreached = -1
+	dist := make([]int, t.n)
+	for i := range dist {
+		dist[i] = unreached
+	}
+	queue := make([]int, 0, t.n)
+	for _, a := range agents {
+		if a < 0 || a >= t.n {
+			return 0, 0, fmt.Errorf("%w: agent at %d", ErrBadNode, a)
+		}
+		if dist[a] == unreached {
+			dist[a] = 0
+			queue = append(queue, a)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range t.adj[v] {
+			if dist[w] == unreached {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	total := 0
+	for _, d := range dist {
+		total += d
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst, float64(total) / float64(t.n), nil
+}
+
+// SpanningTree extracts a BFS spanning tree of a connected undirected
+// graph given as an adjacency edge list, enabling the general-network
+// reduction the paper mentions. Returns the tree edges.
+func SpanningTree(n int, edges [][2]int) ([][2]int, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadNode, n)
+	}
+	adj := make([][]int, n)
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("%w: edge (%d,%d)", ErrBadNode, u, v)
+		}
+		if u == v {
+			continue
+		}
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	for _, nb := range adj {
+		sort.Ints(nb)
+	}
+	visited := make([]bool, n)
+	var out [][2]int
+	queue := []int{0}
+	visited[0] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if !visited[w] {
+				visited[w] = true
+				out = append(out, [2]int{v, w})
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(out) != n-1 {
+		return nil, fmt.Errorf("%w: graph not connected", ErrNotATree)
+	}
+	return out, nil
+}

@@ -1,0 +1,240 @@
+// Package experiments contains the harness that regenerates every
+// table and figure claim of the paper (see DESIGN.md's per-experiment
+// index and EXPERIMENTS.md for the recorded outcomes). It is shared by
+// the cmd/ tools and the root bench_test.go.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"agentring"
+)
+
+// WorkloadKind names an initial-configuration generator.
+type WorkloadKind string
+
+// Workload kinds.
+const (
+	WorkloadRandom    WorkloadKind = "random"
+	WorkloadClustered WorkloadKind = "clustered"
+	WorkloadUniform   WorkloadKind = "uniform"
+	WorkloadPeriodic  WorkloadKind = "periodic"
+)
+
+// Spec describes one experimental run.
+type Spec struct {
+	Algorithm agentring.Algorithm
+	N, K      int
+	Workload  WorkloadKind
+	Degree    int   // symmetry degree for WorkloadPeriodic
+	Seed      int64 // workload + scheduler seed
+	Scheduler agentring.SchedulerKind
+}
+
+// Row is one measured table row.
+type Row struct {
+	Spec
+	SymmetryDegree int
+	Uniform        bool
+	TotalMoves     int
+	MaxMoves       int
+	Rounds         int
+	PeakWords      int
+	PeakBits       int
+	Messages       int
+}
+
+// Homes materializes the Spec's initial configuration.
+func (s Spec) Homes() ([]int, error) {
+	switch s.Workload {
+	case WorkloadRandom:
+		return agentring.RandomHomes(s.N, s.K, s.Seed)
+	case WorkloadClustered:
+		return agentring.ClusteredHomes(s.N, s.K)
+	case WorkloadUniform:
+		return agentring.UniformHomes(s.N, s.K)
+	case WorkloadPeriodic:
+		return agentring.PeriodicHomes(s.N, s.K, s.Degree, s.Seed)
+	default:
+		return nil, fmt.Errorf("experiments: unknown workload %q", s.Workload)
+	}
+}
+
+// Run executes the spec once and returns the measured row.
+func Run(spec Spec) (Row, error) {
+	homes, err := spec.Homes()
+	if err != nil {
+		return Row{}, err
+	}
+	rep, err := agentring.Run(spec.Algorithm, agentring.Config{
+		N:         spec.N,
+		Homes:     homes,
+		Scheduler: spec.Scheduler,
+		Seed:      spec.Seed,
+	})
+	if err != nil {
+		return Row{}, fmt.Errorf("run %s n=%d k=%d: %w", spec.Algorithm, spec.N, spec.K, err)
+	}
+	return Row{
+		Spec:           spec,
+		SymmetryDegree: rep.SymmetryDegree,
+		Uniform:        rep.Uniform,
+		TotalMoves:     rep.TotalMoves,
+		MaxMoves:       rep.MaxMoves,
+		Rounds:         rep.Rounds,
+		PeakWords:      rep.PeakWords,
+		PeakBits:       rep.PeakBits,
+		Messages:       rep.MessagesSent,
+	}, nil
+}
+
+// Table1Sweep measures one algorithm across a grid of (n, k) pairs with
+// the synchronous scheduler (so Rounds is the paper's ideal time). This
+// regenerates the corresponding column of Table 1 empirically.
+func Table1Sweep(alg agentring.Algorithm, ns, ks []int, seed int64) ([]Row, error) {
+	var rows []Row
+	for _, n := range ns {
+		for _, k := range ks {
+			if k > n/2 { // keep configurations scatterable
+				continue
+			}
+			row, err := Run(Spec{
+				Algorithm: alg,
+				N:         n,
+				K:         k,
+				Workload:  WorkloadRandom,
+				Seed:      seed + int64(n*1000+k),
+				Scheduler: agentring.Synchronous,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// DegreeSweep measures the relaxed algorithm across symmetry degrees
+// for a fixed (n, k), regenerating Table 1 column 4's l-dependence.
+func DegreeSweep(n, k int, degrees []int, seed int64) ([]Row, error) {
+	var rows []Row
+	for _, l := range degrees {
+		row, err := Run(Spec{
+			Algorithm: agentring.Relaxed,
+			N:         n,
+			K:         k,
+			Workload:  WorkloadPeriodic,
+			Degree:    l,
+			Seed:      seed,
+			Scheduler: agentring.Synchronous,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// LowerBound runs the Fig 3 clustered configuration and returns the
+// measured total moves together with the theorem's kn/16 floor.
+func LowerBound(alg agentring.Algorithm, n, k int) (moves int, floor int, err error) {
+	row, err := Run(Spec{
+		Algorithm: alg,
+		N:         n,
+		K:         k,
+		Workload:  WorkloadClustered,
+		Scheduler: agentring.Synchronous,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	if !row.Uniform {
+		return 0, 0, fmt.Errorf("lower-bound run not uniform")
+	}
+	return row.TotalMoves, k * n / 16, nil
+}
+
+// FormatRows renders rows as an aligned text table.
+func FormatRows(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %6s %5s %10s %4s %3s %9s %9s %7s %7s %6s %8s\n",
+		"algorithm", "n", "k", "workload", "l", "ok", "moves", "max/agent", "rounds", "words", "bits", "messages")
+	for _, r := range rows {
+		ok := "yes"
+		if !r.Uniform {
+			ok = "NO"
+		}
+		wl := string(r.Workload)
+		if r.Workload == WorkloadPeriodic {
+			wl = fmt.Sprintf("periodic/%d", r.Degree)
+		}
+		fmt.Fprintf(&b, "%-12s %6d %5d %10s %4d %3s %9d %9d %7d %7d %6d %8d\n",
+			r.Algorithm, r.N, r.K, wl, r.SymmetryDegree, ok,
+			r.TotalMoves, r.MaxMoves, r.Rounds, r.PeakWords, r.PeakBits, r.Messages)
+	}
+	return b.String()
+}
+
+// FitLinear returns the least-squares slope and intercept of y against
+// x — used to check that measured complexities grow with the predicted
+// shape (e.g. total moves against k*n should be near-linear).
+func FitLinear(xs, ys []float64) (slope, intercept float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, fmt.Errorf("experiments: need >= 2 paired samples")
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	nf := float64(len(xs))
+	den := nf*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, fmt.Errorf("experiments: degenerate x values")
+	}
+	slope = (nf*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / nf
+	return slope, intercept, nil
+}
+
+// Correlation returns the Pearson correlation coefficient between xs
+// and ys.
+func Correlation(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, fmt.Errorf("experiments: need >= 2 paired samples")
+	}
+	nf := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/nf, sy/nf
+	var num, dx2, dy2 float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		num += dx * dy
+		dx2 += dx * dx
+		dy2 += dy * dy
+	}
+	if dx2 == 0 || dy2 == 0 {
+		return 0, fmt.Errorf("experiments: zero variance")
+	}
+	return num / sqrt(dx2*dy2), nil
+}
+
+func sqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	x := v
+	for i := 0; i < 64; i++ {
+		x = (x + v/x) / 2
+	}
+	return x
+}

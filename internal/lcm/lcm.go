@@ -1,0 +1,224 @@
+// Package lcm implements the Look-Compute-Move comparison model of the
+// paper's related-work section (Elor & Bruckstein [10]): oblivious
+// agents on a ring with a visibility radius VR, activated
+// semi-synchronously, balancing their gaps locally.
+//
+// The paper positions itself against this model: LCM agents are
+// memoryless but can *see* other agents within VR, whereas the paper's
+// agents have memory and tokens but see only their own node. Two cited
+// claims are reproduced here empirically:
+//
+//   - with VR >= floor(n/k), local gap balancing reaches a *balanced*
+//     uniform deployment but without quiescence — agents keep
+//     oscillating while satisfying the spacing condition; and
+//   - with VR < floor(n/k), a blind agent (one that sees nobody) has no
+//     information to act on, and uniform deployment is unreachable from
+//     configurations that keep some agent blind.
+//
+// The package is intentionally small: it is a comparison foil, not a
+// contribution of the reproduced paper.
+package lcm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// ErrBadConfig rejects invalid parameters.
+var ErrBadConfig = errors.New("lcm: invalid configuration")
+
+// Config describes a semi-synchronous LCM system on a ring.
+type Config struct {
+	// N is the ring size; K the number of agents.
+	N, K int
+	// VR is the visibility radius in nodes (how far an agent can see in
+	// each direction).
+	VR int
+	// ActivationProb is the per-round probability that an agent is
+	// activated (semi-synchrony). Zero selects 0.5.
+	ActivationProb float64
+}
+
+// System is a running LCM configuration.
+type System struct {
+	cfg       Config
+	positions []int // sorted in ring order, distinct
+	rng       *rand.Rand
+	moves     int
+}
+
+// New builds a system from distinct initial positions.
+func New(cfg Config, positions []int, rng *rand.Rand) (*System, error) {
+	if cfg.N < 1 || cfg.K < 1 || cfg.K > cfg.N {
+		return nil, fmt.Errorf("%w: n=%d k=%d", ErrBadConfig, cfg.N, cfg.K)
+	}
+	if len(positions) != cfg.K {
+		return nil, fmt.Errorf("%w: %d positions for k=%d", ErrBadConfig, len(positions), cfg.K)
+	}
+	if cfg.VR < 0 {
+		return nil, fmt.Errorf("%w: VR=%d", ErrBadConfig, cfg.VR)
+	}
+	if cfg.ActivationProb == 0 {
+		cfg.ActivationProb = 0.5
+	}
+	if cfg.ActivationProb < 0 || cfg.ActivationProb > 1 {
+		return nil, fmt.Errorf("%w: activation probability %v", ErrBadConfig, cfg.ActivationProb)
+	}
+	seen := make(map[int]bool, cfg.K)
+	pos := append([]int(nil), positions...)
+	for _, p := range pos {
+		if p < 0 || p >= cfg.N {
+			return nil, fmt.Errorf("%w: position %d", ErrBadConfig, p)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("%w: duplicate position %d", ErrBadConfig, p)
+		}
+		seen[p] = true
+	}
+	sort.Ints(pos)
+	return &System{cfg: cfg, positions: pos, rng: rng}, nil
+}
+
+// Positions returns a copy of the agent positions (sorted ring order).
+func (s *System) Positions() []int {
+	return append([]int(nil), s.positions...)
+}
+
+// Moves returns the cumulative number of unit moves taken.
+func (s *System) Moves() int { return s.moves }
+
+// Round executes one semi-synchronous round: every agent independently
+// activates with the configured probability; active agents look
+// (distances to ring-adjacent neighbours, censored at VR), compute the
+// balancing rule, and move one node toward the larger gap. Moves that
+// would collide with a neighbour are suppressed.
+func (s *System) Round() {
+	k := s.cfg.K
+	type intent struct {
+		idx int
+		dir int // -1, 0, +1
+	}
+	intents := make([]intent, 0, k)
+	for i := 0; i < k; i++ {
+		if s.rng.Float64() >= s.cfg.ActivationProb {
+			continue
+		}
+		intents = append(intents, intent{idx: i, dir: s.compute(i)})
+	}
+	// Apply intents with collision suppression: an agent moves only if
+	// the destination stays strictly between its neighbours.
+	for _, in := range intents {
+		if in.dir == 0 {
+			continue
+		}
+		if s.tryMove(in.idx, in.dir) {
+			s.moves++
+		}
+	}
+}
+
+// compute is the look+compute of the gap-balancing rule: move toward
+// the strictly larger adjacent gap, treating unseen neighbours
+// (distance > VR) as unknown. A fully blind agent stays put — it has
+// nothing to steer by, which is exactly the impossibility mechanism for
+// small VR.
+func (s *System) compute(i int) int {
+	ahead := s.gapAfter(i)
+	behind := s.gapAfter((i - 1 + s.cfg.K) % s.cfg.K)
+	seeAhead := ahead <= s.cfg.VR
+	seeBehind := behind <= s.cfg.VR
+	switch {
+	case !seeAhead && !seeBehind:
+		return 0 // blind: nothing to steer by
+	case !seeAhead:
+		return 1 // the gap in front is unseen, i.e. at least VR+1: move into it
+	case !seeBehind:
+		return -1
+	case ahead > behind+1:
+		return 1
+	case behind > ahead+1:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// gapAfter returns the gap between agent i and agent i+1 in ring order.
+func (s *System) gapAfter(i int) int {
+	k := s.cfg.K
+	if k == 1 {
+		return s.cfg.N
+	}
+	cur := s.positions[i]
+	next := s.positions[(i+1)%k]
+	gap := next - cur
+	if gap <= 0 {
+		gap += s.cfg.N
+	}
+	return gap
+}
+
+// tryMove moves agent i one node in direction dir if the move keeps it
+// strictly apart from both neighbours.
+func (s *System) tryMove(i, dir int) bool {
+	k, n := s.cfg.K, s.cfg.N
+	dest := ((s.positions[i]+dir)%n + n) % n
+	if k > 1 {
+		prev := s.positions[(i-1+k)%k]
+		next := s.positions[(i+1)%k]
+		if dest == prev || dest == next {
+			return false
+		}
+	}
+	s.positions[i] = dest
+	// One unit move cannot break the sorted ring order except by
+	// wrapping node 0; re-sort cheaply to restore the invariant.
+	sort.Ints(s.positions)
+	return true
+}
+
+// Spread returns max gap - min gap, the balance measure; 0 or 1 means
+// the spacing condition of uniform deployment holds.
+func (s *System) Spread() int {
+	min, max := s.cfg.N, 0
+	for i := 0; i < s.cfg.K; i++ {
+		g := s.gapAfter(i)
+		if g < min {
+			min = g
+		}
+		if g > max {
+			max = g
+		}
+	}
+	return max - min
+}
+
+// Balanced reports whether every gap is ⌊n/k⌋ or ⌈n/k⌉.
+func (s *System) Balanced() bool {
+	lo := s.cfg.N / s.cfg.K
+	hi := lo
+	if s.cfg.N%s.cfg.K != 0 {
+		hi++
+	}
+	for i := 0; i < s.cfg.K; i++ {
+		g := s.gapAfter(i)
+		if g != lo && g != hi {
+			return false
+		}
+	}
+	return true
+}
+
+// BlindAgents counts agents that currently see no neighbour in either
+// direction.
+func (s *System) BlindAgents() int {
+	blind := 0
+	for i := 0; i < s.cfg.K; i++ {
+		if s.gapAfter(i) > s.cfg.VR && s.gapAfter((i-1+s.cfg.K)%s.cfg.K) > s.cfg.VR {
+			blind++
+		}
+	}
+	return blind
+}

@@ -1,0 +1,165 @@
+package lcm
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		name string
+		cfg  Config
+		pos  []int
+	}{
+		{"bad n", Config{N: 0, K: 1, VR: 1}, []int{0}},
+		{"k > n", Config{N: 2, K: 3, VR: 1}, []int{0, 1, 0}},
+		{"wrong count", Config{N: 8, K: 2, VR: 1}, []int{0}},
+		{"negative VR", Config{N: 8, K: 2, VR: -1}, []int{0, 4}},
+		{"bad prob", Config{N: 8, K: 2, VR: 2, ActivationProb: 1.5}, []int{0, 4}},
+		{"dup positions", Config{N: 8, K: 2, VR: 2}, []int{3, 3}},
+		{"range", Config{N: 8, K: 1, VR: 2}, []int{9}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := New(c.cfg, c.pos, rng); !errors.Is(err, ErrBadConfig) {
+				t.Errorf("err = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+}
+
+// TestBalancedConvergenceWithSufficientVisibility reproduces the
+// positive side of Elor & Bruckstein's cited result: with VR >= n/k the
+// semi-synchronous gap-balancing agents reach (and keep) the balanced
+// spacing condition. Note there is no quiescence: the system is judged
+// by its configuration, not by termination — the contrast with the
+// reproduced paper's algorithms.
+func TestBalancedConvergenceWithSufficientVisibility(t *testing.T) {
+	const n, k = 36, 6 // n/k = 6
+	rng := rand.New(rand.NewSource(5))
+	sys, err := New(Config{N: n, K: k, VR: n / k}, []int{0, 1, 2, 3, 4, 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clustered start: gaps (1,1,1,1,1,31): every agent sees someone.
+	for round := 0; round < 20000; round++ {
+		sys.Round()
+		if sys.Balanced() {
+			return
+		}
+	}
+	t.Fatalf("not balanced after 20000 rounds; spread %d, positions %v", sys.Spread(), sys.Positions())
+}
+
+// TestSpreadShrinksMonotonically tracks the balance measure over
+// epochs: it must not trend upward.
+func TestSpreadShrinksOverall(t *testing.T) {
+	const n, k = 48, 8
+	rng := rand.New(rand.NewSource(11))
+	sys, err := New(Config{N: n, K: k, VR: n / k}, []int{0, 1, 2, 3, 4, 5, 6, 7}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := sys.Spread()
+	for round := 0; round < 5000; round++ {
+		sys.Round()
+	}
+	if sys.Spread() > initial {
+		t.Fatalf("spread grew: %d -> %d", initial, sys.Spread())
+	}
+}
+
+// TestBlindAgentsNeverConverge reproduces the negative side: with
+// VR < floor(n/k) there are configurations (an isolated agent far from
+// everyone) where a blind agent has no information and uniformity is
+// unreachable — it never moves at all.
+func TestBlindAgentsNeverConverge(t *testing.T) {
+	const n, k = 40, 4
+	rng := rand.New(rand.NewSource(7))
+	// Agent at 20 is out of everyone's sight (VR=3 < n/k=10); the other
+	// three are clustered at 0..2.
+	sys, err := New(Config{N: n, K: k, VR: 3}, []int{0, 1, 2, 20}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.BlindAgents() == 0 {
+		t.Fatal("setup should contain a blind agent")
+	}
+	for round := 0; round < 4000; round++ {
+		sys.Round()
+	}
+	if sys.Balanced() {
+		t.Fatal("balanced uniformity reached despite sub-threshold visibility — contradicts the cited impossibility")
+	}
+	// The run wedges: agents drift apart until everyone is blind, and a
+	// configuration of all-blind agents is permanently frozen while
+	// still unbalanced.
+	if sys.BlindAgents() != 4 {
+		t.Fatalf("expected an all-blind frozen end state, got %d blind at %v", sys.BlindAgents(), sys.Positions())
+	}
+	frozen := sys.Moves()
+	for round := 0; round < 500; round++ {
+		sys.Round()
+	}
+	if sys.Moves() != frozen {
+		t.Fatalf("all-blind state still moved: %d -> %d", frozen, sys.Moves())
+	}
+}
+
+// TestNoQuiescence demonstrates the "balanced but never quiescent"
+// character: from an already-balanced configuration the system keeps
+// taking moves under semi-synchronous activation... or rather, the
+// balancing rule with a +/-1 tolerance *does* go quiet once balanced —
+// matching Elor & Bruckstein's "without quiescence" only in the sense
+// that agents cannot *know* they are done. We assert the configuration
+// stays balanced forever (closure under the rule).
+func TestBalancedClosure(t *testing.T) {
+	const n, k = 24, 4
+	rng := rand.New(rand.NewSource(13))
+	sys, err := New(Config{N: n, K: k, VR: n / k}, []int{0, 6, 12, 18}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2000; round++ {
+		sys.Round()
+		if !sys.Balanced() {
+			t.Fatalf("balanced configuration destabilized at round %d: %v", round, sys.Positions())
+		}
+	}
+}
+
+func TestSingleAgent(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	sys, err := New(Config{N: 9, K: 1, VR: 2}, []int{4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		sys.Round()
+	}
+	if !sys.Balanced() {
+		t.Error("single agent is trivially balanced")
+	}
+	if sys.Moves() != 0 {
+		t.Errorf("blind single agent moved %d times", sys.Moves())
+	}
+}
+
+func TestGapAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	sys, err := New(Config{N: 12, K: 3, VR: 12}, []int{0, 4, 8}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Spread() != 0 {
+		t.Errorf("uniform start spread = %d", sys.Spread())
+	}
+	if !sys.Balanced() {
+		t.Error("uniform start must be balanced")
+	}
+	if sys.BlindAgents() != 0 {
+		t.Error("full visibility must mean no blind agents")
+	}
+}

@@ -1,0 +1,168 @@
+package netsim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"agentring/internal/core"
+	"agentring/internal/ring"
+	"agentring/internal/sim"
+	"agentring/internal/verify"
+	"agentring/internal/workload"
+)
+
+func toIntHomes(ids []ring.NodeID) []int {
+	out := make([]int, len(ids))
+	for i, h := range ids {
+		out[i] = int(h)
+	}
+	return out
+}
+
+func runSim(t *testing.T, n int, homes []ring.NodeID, mk func() (sim.Program, error)) sim.Result {
+	t.Helper()
+	programs := make([]sim.Program, len(homes))
+	for i := range programs {
+		p, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		programs[i] = p
+	}
+	e, err := sim.NewEngine(ring.MustNew(n), homes, programs, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func checkUniformInts(t *testing.T, n int, positions []int, context string) {
+	t.Helper()
+	ids := make([]ring.NodeID, len(positions))
+	for i, p := range positions {
+		ids[i] = ring.NodeID(p)
+	}
+	if why := verify.ExplainNonUniform(n, ids); why != "" {
+		t.Fatalf("%s: %s", context, why)
+	}
+}
+
+// TestAlg2MachineCrossValidation runs Algorithms 2+3 on both substrates
+// and compares the *sorted* final position sets: the target-node set is
+// a pure function of the token geometry (leader homes + slot schedule),
+// while which follower lands on which slot may legally differ between
+// schedules.
+func TestAlg2MachineCrossValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(50)
+		k := 1 + rng.Intn(n/2+1)
+		homeIDs, err := workload.Random(n, k, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simRes := runSim(t, n, homeIDs, func() (sim.Program, error) { return core.NewAlg2(k) })
+
+		machines := make([]Machine, k)
+		for i := range machines {
+			machines[i] = Alg2Machine{K: k}
+		}
+		netRes, err := Run(n, toIntHomes(homeIDs), machines, Options{})
+		if err != nil {
+			t.Fatalf("netsim n=%d k=%d homes=%v: %v", n, k, homeIDs, err)
+		}
+		checkUniformInts(t, n, netRes.Positions(), "netsim alg2")
+		for i, a := range netRes.Agents {
+			if !a.Halted {
+				t.Fatalf("agent %d not halted", i)
+			}
+		}
+		simPos := make([]int, k)
+		for i, a := range simRes.Agents {
+			simPos[i] = int(a.Node)
+		}
+		netPos := append([]int(nil), netRes.Positions()...)
+		sort.Ints(simPos)
+		sort.Ints(netPos)
+		for i := range simPos {
+			if simPos[i] != netPos[i] {
+				t.Fatalf("n=%d k=%d: target sets differ: sim %v vs net %v (homes %v)",
+					n, k, simPos, netPos, homeIDs)
+			}
+		}
+	}
+}
+
+// TestRelaxedMachineCrossValidation runs the relaxed algorithm on both
+// substrates: each agent's final node AND move count are pure functions
+// of the geometry (the catch-up normalizes total moves to 12 x final
+// estimate), so they must agree exactly.
+func TestRelaxedMachineCrossValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(40)
+		k := 1 + rng.Intn(n)
+		homeIDs, err := workload.Random(n, k, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simRes := runSim(t, n, homeIDs, func() (sim.Program, error) { return core.NewRelaxed(), nil })
+
+		machines := make([]Machine, k)
+		for i := range machines {
+			machines[i] = RelaxedMachine{}
+		}
+		netRes, err := Run(n, toIntHomes(homeIDs), machines, Options{})
+		if err != nil {
+			t.Fatalf("netsim n=%d k=%d homes=%v: %v", n, k, homeIDs, err)
+		}
+		checkUniformInts(t, n, netRes.Positions(), "netsim relaxed")
+		for i := range homeIDs {
+			if int(simRes.Agents[i].Node) != netRes.Agents[i].Node {
+				t.Fatalf("n=%d k=%d agent %d: sim node %d != net node %d (homes %v)",
+					n, k, i, simRes.Agents[i].Node, netRes.Agents[i].Node, homeIDs)
+			}
+			if simRes.Agents[i].Moves != netRes.Agents[i].Moves {
+				t.Fatalf("n=%d k=%d agent %d: sim moves %d != net moves %d (homes %v)",
+					n, k, i, simRes.Agents[i].Moves, netRes.Agents[i].Moves, homeIDs)
+			}
+			if netRes.Agents[i].Halted {
+				t.Fatalf("relaxed agent %d halted; must stay suspended", i)
+			}
+		}
+	}
+}
+
+// TestRelaxedMachineFig9 replays the misestimation-recovery scenario on
+// the concurrent substrate.
+func TestRelaxedMachineFig9(t *testing.T) {
+	n, homeIDs := workload.Fig9()
+	machines := make([]Machine, len(homeIDs))
+	for i := range machines {
+		machines[i] = RelaxedMachine{}
+	}
+	res, err := Run(n, toIntHomes(homeIDs), machines, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkUniformInts(t, n, res.Positions(), "fig9")
+}
+
+// TestAlg2MachineFig5 replays the base-node-conditions example.
+func TestAlg2MachineFig5(t *testing.T) {
+	homes := []int{0, 1, 3, 6, 7, 9, 12, 13, 15}
+	machines := make([]Machine, len(homes))
+	for i := range machines {
+		machines[i] = Alg2Machine{K: len(homes)}
+	}
+	res, err := Run(18, homes, machines, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkUniformInts(t, 18, res.Positions(), "fig5")
+}

@@ -1,0 +1,379 @@
+// Package netsim is a second, independently built substrate for the
+// paper's model: a truly concurrent message-passing implementation in
+// which mobile agents are what they are in practice — messages.
+//
+// Each ring node runs as its own goroutine; each unidirectional link is
+// a FIFO Go channel; an agent is a serialized (encoding/json) state
+// blob that migrates from node to node inside an envelope, exactly the
+// "agents are implemented as messages" realization the paper's model
+// section appeals to. A node executes one resident agent step at a
+// time (the model's atomic action), so per-node serialization plus
+// FIFO links gives the Section 2 semantics while nodes genuinely run
+// in parallel.
+//
+// Quiescence (all agents halted or waiting, no envelope in flight) is
+// detected with a credit-counting scheme in the Dijkstra–Scholten
+// style: every unit of outstanding work (an agent arrival or a wake)
+// increments a global counter before it is enqueued and decrements it
+// after it is fully processed, so the counter reaches zero exactly at
+// global quiescence.
+//
+// netsim exists to cross-validate internal/sim: the deployment
+// algorithms are deterministic functions of the token geometry, so both
+// substrates must produce identical final positions despite completely
+// different concurrency structures (see the cross-validation tests).
+package netsim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Errors.
+var (
+	// ErrBadSetup rejects invalid run configurations.
+	ErrBadSetup = errors.New("netsim: invalid setup")
+	// ErrTimeout means the run did not quiesce within the deadline.
+	ErrTimeout = errors.New("netsim: run timed out before quiescence")
+	// ErrMachine wraps state-machine failures.
+	ErrMachine = errors.New("netsim: machine error")
+)
+
+// View is what an agent observes during one atomic step at a node.
+type View struct {
+	// Tokens is the token count at the current node.
+	Tokens int
+	// OthersHere is the number of other agents resident (waiting or
+	// halted) at the node.
+	OthersHere int
+	// Inbox holds the messages delivered for this step.
+	Inbox []json.RawMessage
+}
+
+// Action is an agent's decision at the end of one atomic step. At most
+// one of Move and Halt may be set; if neither is set the agent stays
+// resident, waiting for messages.
+type Action struct {
+	// ReleaseToken drops the indelible token at the current node.
+	ReleaseToken bool
+	// Broadcast is delivered to every other resident agent at the node.
+	Broadcast []json.RawMessage
+	// Move forwards the agent to the next node.
+	Move bool
+	// Halt terminates the agent at the current node.
+	Halt bool
+}
+
+// Machine is a serializable agent algorithm: a pure transition function
+// over an opaque JSON state. Implementations must be safe for
+// concurrent use by multiple agents (they should be stateless values;
+// all per-agent data lives in the state blob).
+type Machine interface {
+	// InitialState returns the agent's starting state blob.
+	InitialState() (json.RawMessage, error)
+	// Step consumes the current state and view, returning the next state
+	// and the action to take. It is called once per atomic action:
+	// at the agent's first activation at its home node, at every arrival
+	// after a move, and at every wake by a message.
+	Step(state json.RawMessage, view View) (json.RawMessage, Action, error)
+}
+
+// Options configures a run.
+type Options struct {
+	// Timeout bounds the wall-clock run time. Zero means 30s.
+	Timeout time.Duration
+}
+
+// AgentResult is one agent's final disposition.
+type AgentResult struct {
+	// Node is the final node index.
+	Node int
+	// Halted is true for terminated agents, false for waiting ones.
+	Halted bool
+	// Moves counts link traversals.
+	Moves int
+}
+
+// Result is a completed run's outcome.
+type Result struct {
+	Agents     []AgentResult
+	Tokens     []int
+	TotalMoves int
+}
+
+// Positions returns the final node of each agent.
+func (r Result) Positions() []int {
+	out := make([]int, len(r.Agents))
+	for i, a := range r.Agents {
+		out[i] = a.Node
+	}
+	return out
+}
+
+// envelope is a migrating agent.
+type envelope struct {
+	id    int
+	state json.RawMessage
+	moves int
+}
+
+// resident is an agent parked at a node (waiting or halted).
+type resident struct {
+	env     envelope
+	halted  bool
+	mailbox []json.RawMessage
+}
+
+type nodeEvent struct {
+	arrival *envelope
+}
+
+// tracker is the quiescence credit counter.
+type tracker struct {
+	pending atomic.Int64
+	done    chan struct{}
+	once    sync.Once
+	failed  atomic.Bool
+	errMu   sync.Mutex
+	err     error
+}
+
+func (t *tracker) add(n int64) { t.pending.Add(n) }
+
+func (t *tracker) finish(n int64) {
+	if t.pending.Add(-n) == 0 {
+		t.once.Do(func() { close(t.done) })
+	}
+}
+
+func (t *tracker) fail(err error) {
+	t.errMu.Lock()
+	if t.err == nil {
+		t.err = err
+	}
+	t.errMu.Unlock()
+	t.failed.Store(true)
+	t.once.Do(func() { close(t.done) })
+}
+
+func (t *tracker) error() error {
+	t.errMu.Lock()
+	defer t.errMu.Unlock()
+	return t.err
+}
+
+// node is one ring node's goroutine state.
+type node struct {
+	idx       int
+	tokens    int
+	residents map[int]*resident
+	incoming  chan nodeEvent
+	next      chan<- nodeEvent
+	machines  []Machine
+	trk       *tracker
+	stop      <-chan struct{}
+}
+
+// Run places the agents (one Machine each) at the given distinct homes
+// on an n-node ring and executes until quiescence.
+func Run(n int, homes []int, machines []Machine, opts Options) (Result, error) {
+	k := len(homes)
+	if n < 1 || k < 1 || k > n {
+		return Result{}, fmt.Errorf("%w: n=%d k=%d", ErrBadSetup, n, k)
+	}
+	if len(machines) != k {
+		return Result{}, fmt.Errorf("%w: %d machines for %d agents", ErrBadSetup, len(machines), k)
+	}
+	seen := make(map[int]bool, k)
+	for _, h := range homes {
+		if h < 0 || h >= n {
+			return Result{}, fmt.Errorf("%w: home %d out of range", ErrBadSetup, h)
+		}
+		if seen[h] {
+			return Result{}, fmt.Errorf("%w: duplicate home %d", ErrBadSetup, h)
+		}
+		seen[h] = true
+	}
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+
+	trk := &tracker{done: make(chan struct{})}
+	stop := make(chan struct{})
+	// Links: channel i delivers into node i. Capacity k bounds the
+	// agents that can ever be in flight on one link.
+	links := make([]chan nodeEvent, n)
+	for i := range links {
+		links[i] = make(chan nodeEvent, k+1)
+	}
+	nodes := make([]*node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = &node{
+			idx:       i,
+			residents: make(map[int]*resident),
+			incoming:  links[i],
+			next:      links[(i+1)%n],
+			machines:  machines,
+			trk:       trk,
+			stop:      stop,
+		}
+	}
+	// Initial configuration: each agent sits in its home's incoming
+	// buffer, guaranteeing it acts there before any visitor.
+	for id, h := range homes {
+		st, err := machines[id].InitialState()
+		if err != nil {
+			return Result{}, fmt.Errorf("%w: initial state of agent %d: %v", ErrMachine, id, err)
+		}
+		env := envelope{id: id, state: st}
+		trk.add(1)
+		links[h] <- nodeEvent{arrival: &env}
+	}
+
+	var wg sync.WaitGroup
+	for i := range nodes {
+		wg.Add(1)
+		go func(nd *node) {
+			defer wg.Done()
+			nd.loop()
+		}(nodes[i])
+	}
+
+	var runErr error
+	select {
+	case <-trk.done:
+		runErr = trk.error()
+	case <-time.After(timeout):
+		runErr = fmt.Errorf("%w (after %v)", ErrTimeout, timeout)
+	}
+	close(stop)
+	wg.Wait()
+
+	res := Result{Agents: make([]AgentResult, k), Tokens: make([]int, n)}
+	placed := make([]bool, k)
+	for _, nd := range nodes {
+		res.Tokens[nd.idx] = nd.tokens
+		for id, r := range nd.residents {
+			res.Agents[id] = AgentResult{Node: nd.idx, Halted: r.halted, Moves: r.env.moves}
+			res.TotalMoves += r.env.moves
+			placed[id] = true
+		}
+	}
+	if runErr == nil {
+		for id, ok := range placed {
+			if !ok {
+				runErr = fmt.Errorf("%w: agent %d unaccounted for at quiescence", ErrBadSetup, id)
+				break
+			}
+		}
+	}
+	return res, runErr
+}
+
+// loop is the node goroutine: process arrivals from the incoming link,
+// stepping agents atomically and propagating work.
+func (nd *node) loop() {
+	for {
+		select {
+		case <-nd.stop:
+			return
+		case ev := <-nd.incoming:
+			nd.handleArrival(*ev.arrival)
+		}
+	}
+}
+
+// handleArrival runs the arriving agent's atomic step and any wake
+// cascade it triggers among residents.
+func (nd *node) handleArrival(env envelope) {
+	nd.runStep(env, nil)
+	nd.trk.finish(1)
+}
+
+// runStep executes one atomic action for the agent, with the given
+// delivered inbox.
+func (nd *node) runStep(env envelope, inbox []json.RawMessage) {
+	view := View{
+		Tokens:     nd.tokens,
+		OthersHere: nd.othersHere(env.id),
+		Inbox:      inbox,
+	}
+	next, action, err := nd.machines[env.id].Step(env.state, view)
+	if err != nil {
+		nd.trk.fail(fmt.Errorf("%w: agent %d at node %d: %v", ErrMachine, env.id, nd.idx, err))
+		return
+	}
+	env.state = next
+	if action.Move && action.Halt {
+		nd.trk.fail(fmt.Errorf("%w: agent %d decided to move and halt", ErrMachine, env.id))
+		return
+	}
+	if action.ReleaseToken {
+		nd.tokens++
+	}
+	// Broadcasts go to residents; waiting ones are woken and re-stepped
+	// locally (their wake is local work — no extra credit needed since
+	// we process it synchronously within this event).
+	var woken []*resident
+	if len(action.Broadcast) > 0 {
+		for id, r := range nd.residents {
+			if id == env.id || r.halted {
+				continue
+			}
+			r.mailbox = append(r.mailbox, action.Broadcast...)
+			woken = append(woken, r)
+		}
+	}
+	switch {
+	case action.Move:
+		env.moves++
+		select {
+		case <-nd.stop:
+			return
+		default:
+		}
+		nd.trk.add(1)
+		// The send can block only if the link buffer (capacity k+1) is
+		// full, which a correct run never reaches; selecting on stop
+		// keeps shutdown deadlock-free regardless.
+		select {
+		case nd.next <- nodeEvent{arrival: &env}:
+		case <-nd.stop:
+			nd.trk.finish(1)
+			return
+		}
+	case action.Halt:
+		nd.residents[env.id] = &resident{env: env, halted: true}
+	default:
+		nd.residents[env.id] = &resident{env: env}
+	}
+	// Wake cascade: residents with fresh mail are re-stepped, in id
+	// order for determinism of the cascade itself.
+	for _, r := range woken {
+		if _, still := nd.residents[r.env.id]; !still {
+			continue // departed in a previous wake of this cascade
+		}
+		if len(r.mailbox) == 0 {
+			continue
+		}
+		delete(nd.residents, r.env.id)
+		mail := r.mailbox
+		r.mailbox = nil
+		nd.runStep(r.env, mail)
+	}
+}
+
+func (nd *node) othersHere(self int) int {
+	count := 0
+	for id := range nd.residents {
+		if id != self {
+			count++
+		}
+	}
+	return count
+}

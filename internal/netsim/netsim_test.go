@@ -1,0 +1,186 @@
+package netsim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// walkMachine moves a fixed number of steps then halts.
+type walkMachine struct {
+	Steps int
+}
+
+var _ Machine = walkMachine{}
+
+func (m walkMachine) InitialState() (json.RawMessage, error) {
+	return json.Marshal(m.Steps)
+}
+
+func (m walkMachine) Step(raw json.RawMessage, _ View) (json.RawMessage, Action, error) {
+	var left int
+	if err := json.Unmarshal(raw, &left); err != nil {
+		return nil, Action{}, err
+	}
+	if left == 0 {
+		return raw, Action{Halt: true}, nil
+	}
+	left--
+	out, _ := json.Marshal(left)
+	return out, Action{Move: true}, nil
+}
+
+// echoMachine: agent 0 waits for a message then halts; used to test
+// broadcasts and wakes.
+type waitMachine struct{}
+
+func (waitMachine) InitialState() (json.RawMessage, error) { return json.Marshal("waiting") }
+func (waitMachine) Step(raw json.RawMessage, view View) (json.RawMessage, Action, error) {
+	if len(view.Inbox) > 0 {
+		return raw, Action{Halt: true}, nil
+	}
+	return raw, Action{}, nil // stay, wait
+}
+
+// senderMachine walks to the waiter and broadcasts.
+type senderMachine struct {
+	Walk int
+}
+
+func (m senderMachine) InitialState() (json.RawMessage, error) { return json.Marshal(m.Walk) }
+func (m senderMachine) Step(raw json.RawMessage, view View) (json.RawMessage, Action, error) {
+	var left int
+	if err := json.Unmarshal(raw, &left); err != nil {
+		return nil, Action{}, err
+	}
+	if left == 0 {
+		payload, _ := json.Marshal("ping")
+		return raw, Action{Halt: true, Broadcast: []json.RawMessage{payload}}, nil
+	}
+	left--
+	out, _ := json.Marshal(left)
+	return out, Action{Move: true}, nil
+}
+
+func TestRunValidation(t *testing.T) {
+	m := walkMachine{Steps: 1}
+	cases := []struct {
+		name     string
+		n        int
+		homes    []int
+		machines []Machine
+	}{
+		{"n too small", 0, []int{0}, []Machine{m}},
+		{"no agents", 4, nil, nil},
+		{"k exceeds n", 2, []int{0, 1, 0}, []Machine{m, m, m}},
+		{"mismatch", 4, []int{0, 1}, []Machine{m}},
+		{"dup homes", 4, []int{1, 1}, []Machine{m, m}},
+		{"home range", 4, []int{9}, []Machine{m}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Run(c.n, c.homes, c.machines, Options{}); !errors.Is(err, ErrBadSetup) {
+				t.Errorf("err = %v, want ErrBadSetup", err)
+			}
+		})
+	}
+}
+
+func TestWalkersQuiesce(t *testing.T) {
+	res, err := Run(10, []int{0, 3, 7}, []Machine{
+		walkMachine{Steps: 5}, walkMachine{Steps: 0}, walkMachine{Steps: 23},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{5, 3, 0} // (0+5)%10, 3, (7+23)%10
+	for i, a := range res.Agents {
+		if !a.Halted {
+			t.Errorf("agent %d not halted", i)
+		}
+		if a.Node != want[i] {
+			t.Errorf("agent %d at %d, want %d", i, a.Node, want[i])
+		}
+	}
+	if res.TotalMoves != 28 {
+		t.Errorf("total moves = %d, want 28", res.TotalMoves)
+	}
+}
+
+func TestBroadcastWakesWaiter(t *testing.T) {
+	// Waiter at node 2; sender at node 0 walks 2 hops then pings.
+	res, err := Run(5, []int{2, 0}, []Machine{waitMachine{}, senderMachine{Walk: 2}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agents[0].Halted {
+		t.Error("waiter was not woken and halted")
+	}
+	if res.Agents[0].Node != 2 || res.Agents[1].Node != 2 {
+		t.Errorf("positions = %v", res.Positions())
+	}
+}
+
+func TestWaitingAgentsQuiesceWithoutMessages(t *testing.T) {
+	res, err := Run(6, []int{0, 3}, []Machine{waitMachine{}, waitMachine{}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range res.Agents {
+		if a.Halted {
+			t.Errorf("agent %d halted, want waiting", i)
+		}
+	}
+}
+
+type brokenMachine struct{}
+
+func (brokenMachine) InitialState() (json.RawMessage, error) { return json.Marshal(0) }
+func (brokenMachine) Step(json.RawMessage, View) (json.RawMessage, Action, error) {
+	return nil, Action{}, fmt.Errorf("deliberately broken")
+}
+
+func TestMachineErrorSurfaces(t *testing.T) {
+	if _, err := Run(4, []int{0}, []Machine{brokenMachine{}}, Options{}); !errors.Is(err, ErrMachine) {
+		t.Errorf("err = %v, want ErrMachine", err)
+	}
+}
+
+type contradictoryMachine struct{}
+
+func (contradictoryMachine) InitialState() (json.RawMessage, error) { return json.Marshal(0) }
+func (contradictoryMachine) Step(raw json.RawMessage, _ View) (json.RawMessage, Action, error) {
+	return raw, Action{Move: true, Halt: true}, nil
+}
+
+func TestMoveAndHaltRejected(t *testing.T) {
+	if _, err := Run(4, []int{0}, []Machine{contradictoryMachine{}}, Options{}); !errors.Is(err, ErrMachine) {
+		t.Errorf("err = %v, want ErrMachine", err)
+	}
+}
+
+type foreverMachine struct{}
+
+func (foreverMachine) InitialState() (json.RawMessage, error) { return json.Marshal(0) }
+func (foreverMachine) Step(raw json.RawMessage, _ View) (json.RawMessage, Action, error) {
+	return raw, Action{Move: true}, nil
+}
+
+func TestTimeout(t *testing.T) {
+	_, err := Run(4, []int{0}, []Machine{foreverMachine{}}, Options{Timeout: 50 * time.Millisecond})
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestTokenRelease(t *testing.T) {
+	res, err := Run(5, []int{1, 3}, []Machine{Alg1Machine{K: 2}, Alg1Machine{K: 2}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tokens[1] != 1 || res.Tokens[3] != 1 {
+		t.Errorf("tokens = %v", res.Tokens)
+	}
+}

@@ -1,0 +1,188 @@
+package netsim
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"agentring/internal/core"
+	"agentring/internal/seq"
+)
+
+// netPatrolMsg is the relaxed algorithm's correction message in wire
+// form.
+type netPatrolMsg struct {
+	NP    int   `json:"nPrime"`
+	KP    int   `json:"kPrime"`
+	Nodes int   `json:"nodes"`
+	D     []int `json:"d"`
+}
+
+// RelaxedMachine is Algorithms 4-6 (relaxed uniform deployment without
+// knowledge of k or n) as a serializable state machine for the
+// message-passing substrate.
+type RelaxedMachine struct{}
+
+var _ Machine = RelaxedMachine{}
+
+type relaxedMPhase int
+
+const (
+	rInit relaxedMPhase = iota + 1
+	rEstimate
+	rPatrol
+	rDeployWalk
+	rSuspended
+	rCatchUp
+)
+
+// relaxedMState is the serialized agent state; D is the O(k/l)-entry
+// distance sequence, everything else O(log n) bits.
+type relaxedMState struct {
+	Phase     relaxedMPhase `json:"phase"`
+	D         []int         `json:"d"`
+	Dis       int           `json:"dis"`
+	Nodes     int           `json:"nodes"`
+	NP        int           `json:"nPrime"`
+	KP        int           `json:"kPrime"`
+	StepsLeft int           `json:"stepsLeft"`
+}
+
+// InitialState implements Machine.
+func (RelaxedMachine) InitialState() (json.RawMessage, error) {
+	return json.Marshal(relaxedMState{Phase: rInit})
+}
+
+// Step implements Machine.
+func (m RelaxedMachine) Step(raw json.RawMessage, view View) (json.RawMessage, Action, error) {
+	var st relaxedMState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return nil, Action{}, fmt.Errorf("decode state: %w", err)
+	}
+	var act Action
+	var err error
+	switch st.Phase {
+	case rInit:
+		act.ReleaseToken = true
+		st.Phase = rEstimate
+		act.Move = true
+	case rEstimate:
+		err = m.stepEstimate(&st, view, &act)
+	case rPatrol:
+		err = m.stepPatrol(&st, view, &act)
+	case rDeployWalk:
+		st.Nodes++
+		st.StepsLeft--
+		if st.StepsLeft > 0 {
+			act.Move = true
+		} else {
+			st.Phase = rSuspended
+		}
+	case rSuspended:
+		err = m.stepSuspended(&st, view, &act)
+	case rCatchUp:
+		st.Nodes++
+		st.StepsLeft--
+		if st.StepsLeft > 0 {
+			act.Move = true
+		} else {
+			err = m.startDeployment(&st, &act)
+		}
+	default:
+		err = fmt.Errorf("unknown phase %d", st.Phase)
+	}
+	if err != nil {
+		return nil, Action{}, err
+	}
+	out, err := json.Marshal(st)
+	if err != nil {
+		return nil, Action{}, fmt.Errorf("encode state: %w", err)
+	}
+	return out, act, nil
+}
+
+func (m RelaxedMachine) stepEstimate(st *relaxedMState, view View, act *Action) error {
+	st.Nodes++
+	st.Dis++
+	if view.Tokens == 0 {
+		act.Move = true
+		return nil
+	}
+	st.D = append(st.D, st.Dis)
+	st.Dis = 0
+	if !seq.FourfoldPrefix(st.D) {
+		act.Move = true
+		return nil
+	}
+	st.KP = len(st.D) / 4
+	st.NP = seq.Sum(st.D[:st.KP])
+	st.Phase = rPatrol
+	act.Move = true
+	return nil
+}
+
+func (m RelaxedMachine) stepPatrol(st *relaxedMState, view View, act *Action) error {
+	st.Nodes++
+	if view.OthersHere > 0 {
+		payload, err := json.Marshal(netPatrolMsg{NP: st.NP, KP: st.KP, Nodes: st.Nodes, D: st.D})
+		if err != nil {
+			return err
+		}
+		act.Broadcast = []json.RawMessage{payload}
+	}
+	if st.Nodes < 12*st.NP {
+		act.Move = true
+		return nil
+	}
+	return m.startDeployment(st, act)
+}
+
+// startDeployment computes the target walk from the current (virtual
+// home-congruent) position: disBase to the estimated base node plus the
+// rank-th target offset.
+func (m RelaxedMachine) startDeployment(st *relaxedMState, act *Action) error {
+	fund := st.D[:st.KP]
+	rank := seq.MinRotation(fund)
+	disBase := seq.Sum(fund[:rank])
+	offset, err := core.TargetOffset(st.NP, st.KP, 1, rank)
+	if err != nil {
+		return fmt.Errorf("relaxed target for rank %d: %w", rank, err)
+	}
+	st.StepsLeft = disBase + offset
+	if st.StepsLeft == 0 {
+		st.Phase = rSuspended
+		return nil
+	}
+	st.Phase = rDeployWalk
+	act.Move = true
+	return nil
+}
+
+func (m RelaxedMachine) stepSuspended(st *relaxedMState, view View, act *Action) error {
+	for _, raw := range view.Inbox {
+		var msg netPatrolMsg
+		if err := json.Unmarshal(raw, &msg); err != nil || msg.NP < 1 || msg.KP < 1 {
+			continue
+		}
+		if st.NP > msg.NP/2 {
+			continue
+		}
+		t, ok := seq.AlignSubsequenceMod(st.D, msg.D, msg.Nodes-st.Nodes, msg.NP)
+		if !ok {
+			continue
+		}
+		st.NP, st.KP = msg.NP, msg.KP
+		st.D = seq.Rotate(msg.D, t)
+		catchUp := 12*st.NP - st.Nodes
+		if catchUp < 0 {
+			return fmt.Errorf("catch-up distance %d is negative", catchUp)
+		}
+		if catchUp == 0 {
+			return m.startDeployment(st, act)
+		}
+		st.Phase = rCatchUp
+		st.StepsLeft = catchUp
+		act.Move = true
+		return nil
+	}
+	return nil // no acceptable correction: keep waiting
+}

@@ -1,0 +1,73 @@
+// Package rendezvous implements the token-based rendezvous algorithm
+// used for the solvability contrast the paper's introduction draws:
+// rendezvous (gathering all agents at one node) requires breaking
+// symmetry and is impossible from periodic initial configurations,
+// whereas uniform deployment — which *attains* symmetry — is solvable
+// from every initial configuration.
+//
+// The algorithm elects the unique base node via the lexicographically
+// minimal rotation of the distance sequence (as in Algorithm 1) and
+// gathers everyone there. When the ring is periodic the minimal
+// rotation is not unique, no single node can be elected by anonymous
+// deterministic agents, and the program reports ErrSymmetric: this is
+// the detectable face of the classical impossibility.
+package rendezvous
+
+import (
+	"errors"
+	"fmt"
+
+	"agentring/internal/seq"
+	"agentring/internal/sim"
+)
+
+// ErrSymmetric is returned when the initial configuration is periodic:
+// no deterministic anonymous algorithm can gather the agents.
+var ErrSymmetric = errors.New("rendezvous: periodic configuration, symmetry cannot be broken")
+
+type program struct {
+	k int
+}
+
+var _ sim.Program = (*program)(nil)
+
+// New returns a rendezvous program for agents that know k.
+func New(k int) (sim.Program, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("rendezvous: k=%d must be positive", k)
+	}
+	return &program{k: k}, nil
+}
+
+// Run implements sim.Program: collect the distance sequence, elect the
+// unique minimal rotation's home node, walk there and halt. Fails with
+// ErrSymmetric on periodic rings.
+func (p *program) Run(api sim.API) error {
+	m := api.Meter()
+	const scalars = 5
+	m.Set(scalars)
+
+	api.ReleaseToken()
+	var d []int
+	for len(d) < p.k {
+		dis := 0
+		for {
+			api.Move()
+			dis++
+			if api.TokensHere() > 0 {
+				break
+			}
+		}
+		d = append(d, dis)
+		m.Set(scalars + len(d))
+	}
+	if seq.IsPeriodic(d) {
+		return ErrSymmetric
+	}
+	rank := seq.MinRotation(d)
+	disBase := seq.Sum(d[:rank])
+	for i := 0; i < disBase; i++ {
+		api.Move()
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+// Package ring models the static substrate of the paper's system model
+// (Section 2.1): an anonymous, unidirectional ring R = (V, E) of n nodes,
+// where each node carries a token count that can only grow (tokens, once
+// released, can never be removed). Agent positions, link FIFO queues, and
+// mailboxes — the dynamic parts of a configuration — live in internal/sim,
+// which drives this substrate.
+package ring
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a node by its index v_i in the canonical numbering
+// v_0 .. v_{n-1}. Nodes are anonymous to agents: algorithms never see a
+// NodeID; the identifier exists only for the simulator and tests.
+type NodeID int
+
+var (
+	// ErrTooSmall is returned when a ring of fewer than one node is requested.
+	ErrTooSmall = errors.New("ring: size must be at least 1")
+)
+
+// Ring is an n-node unidirectional ring with per-node token counts.
+type Ring struct {
+	n      int
+	tokens []int
+}
+
+// New creates a ring of n nodes with no tokens anywhere.
+func New(n int) (*Ring, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w (got %d)", ErrTooSmall, n)
+	}
+	return &Ring{n: n, tokens: make([]int, n)}, nil
+}
+
+// MustNew is New for callers with statically valid sizes (tests, examples).
+// It panics on invalid input, which is acceptable only at program
+// initialization per the style guide.
+func MustNew(n int) *Ring {
+	r, err := New(n)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Size returns n, the number of nodes.
+func (r *Ring) Size() int { return r.n }
+
+// Next returns the forward neighbour of v (the only direction agents can
+// move in a unidirectional ring).
+func (r *Ring) Next(v NodeID) NodeID {
+	return NodeID((int(v) + 1) % r.n)
+}
+
+// Forward returns the node d hops forward of v. d may be any non-negative
+// integer.
+func (r *Ring) Forward(v NodeID, d int) NodeID {
+	return NodeID((int(v) + d%r.n + r.n) % r.n)
+}
+
+// Distance returns the forward distance from node u to node w, the
+// paper's (j - i) mod n.
+func (r *Ring) Distance(u, w NodeID) int {
+	return ((int(w)-int(u))%r.n + r.n) % r.n
+}
+
+// Tokens returns the token count at node v.
+func (r *Ring) Tokens(v NodeID) int { return r.tokens[v] }
+
+// AddToken releases one token at node v. Tokens are permanent: there is
+// no removal operation, matching the model.
+func (r *Ring) AddToken(v NodeID) { r.tokens[v]++ }
+
+// TotalTokens returns the number of tokens in the whole ring.
+func (r *Ring) TotalTokens() int {
+	total := 0
+	for _, t := range r.tokens {
+		total += t
+	}
+	return total
+}
+
+// TokenNodes returns the IDs of all nodes holding at least one token, in
+// ring order.
+func (r *Ring) TokenNodes() []NodeID {
+	var out []NodeID
+	for i, t := range r.tokens {
+		if t > 0 {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// TokenSnapshot returns a copy of the per-node token counts (the T
+// component of a configuration, Table 2).
+func (r *Ring) TokenSnapshot() []int {
+	out := make([]int, r.n)
+	copy(out, r.tokens)
+	return out
+}
+
+// DistanceSequence returns the gaps between consecutive occupied
+// positions starting from positions[0], given a set of distinct node
+// positions in strictly increasing ring order from some origin. It is a
+// convenience for building the distance sequence of an initial
+// configuration.
+func DistanceSequence(n int, positions []NodeID) ([]int, error) {
+	k := len(positions)
+	if k == 0 {
+		return nil, errors.New("ring: no positions")
+	}
+	seen := make(map[NodeID]bool, k)
+	for _, p := range positions {
+		if p < 0 || int(p) >= n {
+			return nil, fmt.Errorf("ring: position %d out of range [0,%d)", p, n)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("ring: duplicate position %d", p)
+		}
+		seen[p] = true
+	}
+	// Walk the ring from positions[0] forward, collecting occupied nodes
+	// in ring order.
+	ordered := make([]NodeID, 0, k)
+	for step := 0; step < n; step++ {
+		v := NodeID((int(positions[0]) + step) % n)
+		if seen[v] {
+			ordered = append(ordered, v)
+		}
+	}
+	gaps := make([]int, k)
+	for i := range ordered {
+		next := ordered[(i+1)%k]
+		gap := (int(next) - int(ordered[i]) + n) % n
+		if gap == 0 { // single agent: full circle
+			gap = n
+		}
+		gaps[i] = gap
+	}
+	return gaps, nil
+}

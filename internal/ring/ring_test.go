@@ -1,0 +1,192 @@
+package ring
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsTooSmall(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		if _, err := New(n); !errors.Is(err, ErrTooSmall) {
+			t.Errorf("New(%d) error = %v, want ErrTooSmall", n, err)
+		}
+	}
+}
+
+func TestNewSingleNode(t *testing.T) {
+	r, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Next(0) != 0 {
+		t.Errorf("Next(0) on 1-ring = %d, want 0", r.Next(0))
+	}
+}
+
+func TestNextWrapsAround(t *testing.T) {
+	r := MustNew(5)
+	want := []NodeID{1, 2, 3, 4, 0}
+	for i := 0; i < 5; i++ {
+		if got := r.Next(NodeID(i)); got != want[i] {
+			t.Errorf("Next(%d) = %d, want %d", i, got, want[i])
+		}
+	}
+}
+
+func TestForward(t *testing.T) {
+	r := MustNew(7)
+	tests := []struct {
+		v    NodeID
+		d    int
+		want NodeID
+	}{
+		{0, 0, 0}, {0, 3, 3}, {5, 4, 2}, {6, 7, 6}, {6, 15, 0},
+	}
+	for _, tt := range tests {
+		if got := r.Forward(tt.v, tt.d); got != tt.want {
+			t.Errorf("Forward(%d, %d) = %d, want %d", tt.v, tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestDistance(t *testing.T) {
+	r := MustNew(10)
+	tests := []struct {
+		u, w NodeID
+		want int
+	}{
+		{0, 0, 0}, {0, 3, 3}, {3, 0, 7}, {9, 0, 1}, {4, 4, 0},
+	}
+	for _, tt := range tests {
+		if got := r.Distance(tt.u, tt.w); got != tt.want {
+			t.Errorf("Distance(%d, %d) = %d, want %d", tt.u, tt.w, got, tt.want)
+		}
+	}
+}
+
+func TestDistanceForwardInverse(t *testing.T) {
+	f := func(nRaw, vRaw, dRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		r := MustNew(n)
+		v := NodeID(int(vRaw) % n)
+		d := int(dRaw)
+		w := r.Forward(v, d)
+		return r.Distance(v, w) == d%n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokens(t *testing.T) {
+	r := MustNew(4)
+	if r.TotalTokens() != 0 {
+		t.Fatal("new ring must have no tokens")
+	}
+	r.AddToken(2)
+	r.AddToken(2)
+	r.AddToken(0)
+	if got := r.Tokens(2); got != 2 {
+		t.Errorf("Tokens(2) = %d, want 2", got)
+	}
+	if got := r.Tokens(1); got != 0 {
+		t.Errorf("Tokens(1) = %d, want 0", got)
+	}
+	if got := r.TotalTokens(); got != 3 {
+		t.Errorf("TotalTokens = %d, want 3", got)
+	}
+	if got := r.TokenNodes(); !reflect.DeepEqual(got, []NodeID{0, 2}) {
+		t.Errorf("TokenNodes = %v, want [0 2]", got)
+	}
+}
+
+func TestTokenSnapshotIsACopy(t *testing.T) {
+	r := MustNew(3)
+	r.AddToken(1)
+	snap := r.TokenSnapshot()
+	snap[1] = 99
+	if r.Tokens(1) != 1 {
+		t.Error("TokenSnapshot aliased internal state")
+	}
+}
+
+func TestDistanceSequence(t *testing.T) {
+	// Fig 1(a)-style: positions with gaps (1,4,2,1,2,2) on a 12-ring
+	// starting at node 0: 0,1,5,7,8,10.
+	gaps, err := DistanceSequence(12, []NodeID{0, 1, 5, 7, 8, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{1, 4, 2, 1, 2, 2}; !reflect.DeepEqual(gaps, want) {
+		t.Errorf("gaps = %v, want %v", gaps, want)
+	}
+}
+
+func TestDistanceSequenceUnorderedInput(t *testing.T) {
+	// Same set, scrambled: sequence must start from positions[0] and
+	// follow ring order.
+	gaps, err := DistanceSequence(12, []NodeID{5, 0, 10, 7, 1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{2, 1, 2, 2, 1, 4}; !reflect.DeepEqual(gaps, want) {
+		t.Errorf("gaps = %v, want %v", gaps, want)
+	}
+}
+
+func TestDistanceSequenceSingleAgent(t *testing.T) {
+	gaps, err := DistanceSequence(8, []NodeID{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{8}; !reflect.DeepEqual(gaps, want) {
+		t.Errorf("gaps = %v, want %v", gaps, want)
+	}
+}
+
+func TestDistanceSequenceErrors(t *testing.T) {
+	if _, err := DistanceSequence(5, nil); err == nil {
+		t.Error("empty positions must error")
+	}
+	if _, err := DistanceSequence(5, []NodeID{1, 1}); err == nil {
+		t.Error("duplicate positions must error")
+	}
+	if _, err := DistanceSequence(5, []NodeID{7}); err == nil {
+		t.Error("out-of-range position must error")
+	}
+	if _, err := DistanceSequence(5, []NodeID{-1}); err == nil {
+		t.Error("negative position must error")
+	}
+}
+
+func TestDistanceSequenceSumsToN(t *testing.T) {
+	f := func(nRaw uint8, posRaw []uint8) bool {
+		n := int(nRaw%60) + 1
+		seen := make(map[NodeID]bool)
+		var positions []NodeID
+		for _, p := range posRaw {
+			v := NodeID(int(p) % n)
+			if !seen[v] {
+				seen[v] = true
+				positions = append(positions, v)
+			}
+		}
+		if len(positions) == 0 {
+			return true
+		}
+		gaps, err := DistanceSequence(n, positions)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, g := range gaps {
+			total += g
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

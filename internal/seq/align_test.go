@@ -1,0 +1,90 @@
+package seq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAlignSubsequenceModBasic(t *testing.T) {
+	sender := []int{5, 1, 3, 1, 3, 1, 3, 1, 3} // sums: prefix at t=1 is 5
+	recv := []int{1, 3, 1, 3}
+
+	// Equality case still found (diff = 5, mod larger than any sum).
+	t1, ok := AlignSubsequenceMod(recv, sender, 5, 1000)
+	if !ok || t1 != 1 {
+		t.Errorf("got (%d,%v), want (1,true)", t1, ok)
+	}
+	// Congruent case: diff = 5 + 2*21 (two extra laps of a 21-ring).
+	t2, ok := AlignSubsequenceMod(recv, sender, 5+42, 21)
+	if !ok || t2 != 1 {
+		t.Errorf("lapped diff: got (%d,%v), want (1,true)", t2, ok)
+	}
+	// Negative diff congruent to 5 mod 21.
+	t3, ok := AlignSubsequenceMod(recv, sender, 5-21, 21)
+	if !ok || t3 != 1 {
+		t.Errorf("negative diff: got (%d,%v), want (1,true)", t3, ok)
+	}
+	// Wrong residue: no match.
+	if _, ok := AlignSubsequenceMod(recv, sender, 6, 21); ok {
+		t.Error("expected no alignment for wrong residue")
+	}
+	// Bad modulus.
+	if _, ok := AlignSubsequenceMod(recv, sender, 5, 0); ok {
+		t.Error("expected failure with modulus 0")
+	}
+	// Receiver longer than sender.
+	if _, ok := AlignSubsequenceMod(sender, recv, 0, 7); ok {
+		t.Error("expected failure when receiver longer")
+	}
+}
+
+func TestAlignSubsequenceModGeneralizesEquality(t *testing.T) {
+	// With a modulus larger than the total sender sum, Mod and the
+	// strict version agree exactly.
+	f := func(rawS, rawR []uint8, diffRaw uint8) bool {
+		sender := make([]int, len(rawS))
+		total := 0
+		for i, v := range rawS {
+			sender[i] = int(v%3) + 1
+			total += sender[i]
+		}
+		recv := make([]int, len(rawR)%5)
+		for i := range recv {
+			recv[i] = int(rawR[i]%3) + 1
+		}
+		if len(recv) == 0 || len(recv) > len(sender) {
+			return true
+		}
+		diff := int(diffRaw) % (total + 1)
+		tStrict, okStrict := AlignSubsequence(recv, sender, diff)
+		tMod, okMod := AlignSubsequenceMod(recv, sender, diff, total+1)
+		return okStrict == okMod && (!okStrict || tStrict == tMod)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignSubsequenceModUniqueResidue(t *testing.T) {
+	// Within one fundamental copy, prefix sums are strictly increasing,
+	// so for any residue there is at most one alignment offset modulo
+	// the copy length; rotations by t and t+k of a 4-fold sequence are
+	// identical. Verify on a concrete 4-fold sender.
+	fund := []int{2, 1, 4}
+	sender := Repeat(fund, 4)
+	m := Sum(fund) // 7
+	recv := []int{1, 4, 2}
+	// recv matches at t=1 (and t=4,7,10); prefix sum at t=1 is 2.
+	for lap := 0; lap < 3; lap++ {
+		tGot, ok := AlignSubsequenceMod(recv, sender, 2+lap*m, m)
+		if !ok {
+			t.Fatalf("lap %d: no alignment", lap)
+		}
+		if (tGot-1)%3 != 0 {
+			t.Errorf("lap %d: t = %d, want ≡1 (mod 3)", lap, tGot)
+		}
+		if !Equal(Rotate(sender, tGot)[:3], []int{1, 4, 2}) {
+			t.Errorf("lap %d: rotation misaligned", lap)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package seq
+
+import (
+	"testing"
+)
+
+func bytesToSeq(data []byte, cap int) []int {
+	if len(data) == 0 {
+		return nil
+	}
+	if len(data) > cap {
+		data = data[:cap]
+	}
+	d := make([]int, len(data))
+	for i, b := range data {
+		d[i] = int(b%7) + 1
+	}
+	return d
+}
+
+// FuzzMinRotation cross-checks Booth's algorithm against the
+// brute-force oracle on arbitrary inputs.
+func FuzzMinRotation(f *testing.F) {
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{2, 2, 2, 2})
+	f.Add([]byte{5, 1, 5, 1, 5, 1})
+	f.Add([]byte{3, 2, 1, 3, 2, 1, 3, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := bytesToSeq(data, 64)
+		if len(d) == 0 {
+			return
+		}
+		got, want := MinRotation(d), MinRotationBrute(d)
+		if got != want {
+			t.Fatalf("MinRotation(%v) = %d, brute = %d", d, got, want)
+		}
+	})
+}
+
+// FuzzPeriod checks that Period always divides the length, that the
+// sequence really is invariant under rotation by its period, and that
+// no smaller rotation fixes it.
+func FuzzPeriod(f *testing.F) {
+	f.Add([]byte{1, 2, 1, 2})
+	f.Add([]byte{1, 1, 1})
+	f.Add([]byte{4, 3, 2, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := bytesToSeq(data, 64)
+		if len(d) == 0 {
+			return
+		}
+		p := Period(d)
+		if p <= 0 || len(d)%p != 0 {
+			t.Fatalf("Period(%v) = %d does not divide length", d, p)
+		}
+		if !Equal(Rotate(d, p), d) {
+			t.Fatalf("Period(%v) = %d is not a rotation fixpoint", d, p)
+		}
+		for x := 1; x < p; x++ {
+			if Equal(Rotate(d, x), d) {
+				t.Fatalf("Period(%v) = %d but rotation %d also fixes it", d, p, x)
+			}
+		}
+	})
+}
+
+// FuzzAlignSubsequenceMod checks that any alignment the modular search
+// returns actually satisfies both of its conditions.
+func FuzzAlignSubsequenceMod(f *testing.F) {
+	f.Add([]byte{1, 3, 1, 3, 1, 3, 1, 3}, []byte{1, 3}, 5, 4)
+	f.Add([]byte{2, 2, 2}, []byte{2}, 0, 2)
+	f.Fuzz(func(t *testing.T, senderRaw, recvRaw []byte, diff, mod int) {
+		sender := bytesToSeq(senderRaw, 48)
+		recv := bytesToSeq(recvRaw, 16)
+		if len(recv) == 0 || len(sender) == 0 {
+			return
+		}
+		if mod <= 0 || mod > 1<<20 || diff < -(1<<20) || diff > 1<<20 {
+			return
+		}
+		tt, ok := AlignSubsequenceMod(recv, sender, diff, mod)
+		if !ok {
+			return
+		}
+		if tt < 0 || tt+len(recv) > len(sender) {
+			t.Fatalf("alignment %d out of range", tt)
+		}
+		for j := range recv {
+			if recv[j] != sender[tt+j] {
+				t.Fatalf("pattern mismatch at %d", j)
+			}
+		}
+		prefix := Sum(sender[:tt])
+		want := ((diff % mod) + mod) % mod
+		if prefix%mod != want {
+			t.Fatalf("prefix sum %d !== %d (mod %d)", prefix, diff, mod)
+		}
+	})
+}

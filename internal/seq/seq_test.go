@@ -1,0 +1,330 @@
+package seq
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRotate(t *testing.T) {
+	tests := []struct {
+		name string
+		d    []int
+		x    int
+		want []int
+	}{
+		{"identity", []int{1, 2, 3}, 0, []int{1, 2, 3}},
+		{"by one", []int{1, 2, 3}, 1, []int{2, 3, 1}},
+		{"by two", []int{1, 2, 3}, 2, []int{3, 1, 2}},
+		{"full wrap", []int{1, 2, 3}, 3, []int{1, 2, 3}},
+		{"beyond wrap", []int{1, 2, 3}, 4, []int{2, 3, 1}},
+		{"negative", []int{1, 2, 3}, -1, []int{3, 1, 2}},
+		{"empty", []int{}, 5, []int{}},
+		{"single", []int{7}, 3, []int{7}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Rotate(tt.d, tt.x); !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("Rotate(%v, %d) = %v, want %v", tt.d, tt.x, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRotateDoesNotAliasInput(t *testing.T) {
+	d := []int{1, 2, 3}
+	r := Rotate(d, 1)
+	r[0] = 99
+	if d[1] == 99 {
+		t.Error("Rotate returned a slice aliasing its input")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		a, b []int
+		want int
+	}{
+		{[]int{1, 2}, []int{1, 2}, 0},
+		{[]int{1, 2}, []int{1, 3}, -1},
+		{[]int{2}, []int{1, 9}, 1},
+		{[]int{1}, []int{1, 0}, -1},
+		{[]int{}, []int{}, 0},
+		{[]int{}, []int{1}, -1},
+	}
+	for _, tt := range tests {
+		if got := Compare(tt.a, tt.b); got != tt.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestMinRotationExamples(t *testing.T) {
+	tests := []struct {
+		name string
+		d    []int
+		want int
+	}{
+		{"fig1a aperiodic", []int{1, 4, 2, 1, 2, 2}, 3}, // rotations: min starts at 1,2,2,...
+		{"fig1b periodic", []int{1, 2, 3, 1, 2, 3}, 0},
+		{"already minimal", []int{1, 1, 2}, 0},
+		{"single", []int{5}, 0},
+		{"all equal", []int{4, 4, 4}, 0},
+		{"descending", []int{3, 2, 1}, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := MinRotation(tt.d); got != tt.want {
+				t.Errorf("MinRotation(%v) = %d, want %d", tt.d, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMinRotationMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		k := 1 + rng.Intn(24)
+		d := make([]int, k)
+		for i := range d {
+			d[i] = 1 + rng.Intn(4) // small alphabet provokes ties
+		}
+		got, want := MinRotation(d), MinRotationBrute(d)
+		if got != want {
+			t.Fatalf("MinRotation(%v) = %d, brute force = %d", d, got, want)
+		}
+	}
+}
+
+func TestMinRotationQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		d := make([]int, len(raw))
+		for i, v := range raw {
+			d[i] = int(v%5) + 1
+		}
+		return MinRotation(d) == MinRotationBrute(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeriod(t *testing.T) {
+	tests := []struct {
+		name string
+		d    []int
+		want int
+	}{
+		{"aperiodic", []int{1, 4, 2, 1, 2, 2}, 6},
+		{"period 3", []int{1, 2, 3, 1, 2, 3}, 3},
+		{"period 1", []int{2, 2, 2, 2}, 1},
+		{"period 2", []int{1, 3, 1, 3, 1, 3, 1, 3}, 2},
+		{"linear period not cyclic", []int{1, 2, 1, 2, 1}, 5},
+		{"single", []int{9}, 1},
+		{"empty", []int{}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Period(tt.d); got != tt.want {
+				t.Errorf("Period(%v) = %d, want %d", tt.d, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPeriodIsMinimalRotationFixpoint(t *testing.T) {
+	// Oracle: smallest x > 0 with Rotate(d,x) == d.
+	oracle := func(d []int) int {
+		for x := 1; x < len(d); x++ {
+			if Equal(Rotate(d, x), d) {
+				return x
+			}
+		}
+		return len(d)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 400; trial++ {
+		k := 1 + rng.Intn(20)
+		d := make([]int, k)
+		for i := range d {
+			d[i] = 1 + rng.Intn(3)
+		}
+		if got, want := Period(d), oracle(d); got != want {
+			t.Fatalf("Period(%v) = %d, oracle = %d", d, got, want)
+		}
+	}
+}
+
+func TestSymmetryDegreeFig1(t *testing.T) {
+	// Figure 1(a): distance sequence (1,4,2,1,2,2) is aperiodic -> l = 1.
+	if got := SymmetryDegree([]int{1, 4, 2, 1, 2, 2}); got != 1 {
+		t.Errorf("fig 1(a) symmetry degree = %d, want 1", got)
+	}
+	// Figure 1(b): (1,2,3,1,2,3) = (1,2,3)^2 -> l = 2.
+	if got := SymmetryDegree([]int{1, 2, 3, 1, 2, 3}); got != 2 {
+		t.Errorf("fig 1(b) symmetry degree = %d, want 2", got)
+	}
+	// Uniform deployment of k agents: all gaps equal -> l = k.
+	if got := SymmetryDegree([]int{3, 3, 3, 3}); got != 4 {
+		t.Errorf("uniform symmetry degree = %d, want 4", got)
+	}
+}
+
+func TestSymmetryDegreeDividesK(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		d := make([]int, len(raw))
+		for i, v := range raw {
+			d[i] = int(v%4) + 1
+		}
+		l := SymmetryDegree(d)
+		return l >= 1 && l <= len(d) && len(d)%l == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFundamentalRoundTrip(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		d := make([]int, len(raw))
+		for i, v := range raw {
+			d[i] = int(v%4) + 1
+		}
+		fund := Fundamental(d)
+		l := SymmetryDegree(d)
+		if IsPeriodic(fund) {
+			return false // fundamental must be aperiodic
+		}
+		return Equal(Repeat(fund, l), d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	if got := Repeat([]int{1, 2}, 3); !reflect.DeepEqual(got, []int{1, 2, 1, 2, 1, 2}) {
+		t.Errorf("Repeat = %v", got)
+	}
+	if got := Repeat([]int{1}, 0); len(got) != 0 {
+		t.Errorf("Repeat x0 = %v, want empty", got)
+	}
+	if got := Repeat([]int{1}, -2); len(got) != 0 {
+		t.Errorf("Repeat x-2 = %v, want empty", got)
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum([]int{1, 4, 2, 1, 2, 2}); got != 12 {
+		t.Errorf("Sum = %d, want 12", got)
+	}
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %d, want 0", got)
+	}
+}
+
+func TestFourfoldPrefix(t *testing.T) {
+	tests := []struct {
+		name string
+		d    []int
+		want bool
+	}{
+		{"fig8 example", []int{1, 3, 1, 3, 1, 3, 1, 3}, true},
+		{"not multiple of 4", []int{1, 3, 1, 3, 1, 3}, false},
+		{"three repeats only", []int{1, 3, 1, 3, 1, 3, 1, 4}, false},
+		{"single x4", []int{2, 2, 2, 2}, true},
+		{"empty", []int{}, false},
+		{"longer unit", []int{1, 2, 3, 1, 2, 3, 1, 2, 3, 1, 2, 3}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := FourfoldPrefix(tt.d); got != tt.want {
+				t.Errorf("FourfoldPrefix(%v) = %v, want %v", tt.d, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRepetitionPrefixAgreesWithFourfold(t *testing.T) {
+	f := func(raw []uint8) bool {
+		d := make([]int, len(raw))
+		for i, v := range raw {
+			d[i] = int(v%3) + 1
+		}
+		return RepetitionPrefix(d, 4) == FourfoldPrefix(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRepetitionPrefixEdge(t *testing.T) {
+	if RepetitionPrefix([]int{1, 1}, 0) {
+		t.Error("r=0 must be false")
+	}
+	if !RepetitionPrefix([]int{1, 2, 1, 2}, 2) {
+		t.Error("(1,2)^2 with r=2 must be true")
+	}
+	if RepetitionPrefix([]int{1, 2, 1, 3}, 2) {
+		t.Error("(1,2,1,3) with r=2 must be false")
+	}
+}
+
+func TestAlignSubsequence(t *testing.T) {
+	sender := []int{5, 1, 3, 1, 3, 1, 3, 1, 3}
+	recv := []int{1, 3, 1, 3}
+	// Offset t=1 aligns recv within sender; prefix sum before t=1 is 5.
+	t1, ok := AlignSubsequence(recv, sender, 5)
+	if !ok || t1 != 1 {
+		t.Errorf("AlignSubsequence = (%d, %v), want (1, true)", t1, ok)
+	}
+	// Wrong prefix sum: no match.
+	if _, ok := AlignSubsequence(recv, sender, 4); ok {
+		t.Error("expected no alignment with wrong prefix sum")
+	}
+	// Receiver longer than sender: no match.
+	if _, ok := AlignSubsequence(sender, recv, 0); ok {
+		t.Error("expected no alignment when receiver is longer")
+	}
+	// t=0 with zero prefix sum.
+	t0, ok := AlignSubsequence([]int{5, 1}, sender, 0)
+	if !ok || t0 != 0 {
+		t.Errorf("AlignSubsequence t=0 = (%d, %v), want (0, true)", t0, ok)
+	}
+}
+
+func TestMinRotationIsActuallyMinimal(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		d := make([]int, len(raw))
+		for i, v := range raw {
+			d[i] = int(v%6) + 1
+		}
+		x := MinRotation(d)
+		min := Rotate(d, x)
+		for y := 0; y < len(d); y++ {
+			if Compare(Rotate(d, y), min) < 0 {
+				return false
+			}
+			if y < x && Compare(Rotate(d, y), min) == 0 {
+				return false // x must be the smallest index achieving the minimum
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,395 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"agentring/internal/memmeter"
+	"agentring/internal/ring"
+)
+
+// Exported engine errors, matchable with errors.Is.
+var (
+	// ErrStepLimit means the run did not quiesce within Options.MaxSteps
+	// atomic actions — a livelock or an undersized budget.
+	ErrStepLimit = errors.New("sim: step limit exceeded before quiescence")
+	// ErrBadSetup covers invalid engine construction arguments.
+	ErrBadSetup = errors.New("sim: invalid setup")
+)
+
+// errStopped is the sentinel panic raised inside blocked API calls when
+// the engine shuts down after quiescence; the agent wrapper recovers it
+// and treats the agent as cleanly retired while suspended.
+var errStopped = errors.New("sim: engine stopped")
+
+// Options configures an Engine.
+type Options struct {
+	// Scheduler decides the interleaving. Defaults to round-robin.
+	Scheduler Scheduler
+	// MaxSteps bounds the number of atomic actions. Zero selects a
+	// generous default proportional to n*k.
+	MaxSteps int
+	// Trace, if non-nil, records execution events.
+	Trace *Trace
+	// Observer, if non-nil, receives a full configuration snapshot
+	// before the first atomic action and after every one. Snapshots are
+	// O(n + k) to build, so observers are meant for tests and tools, not
+	// hot paths.
+	Observer Observer
+}
+
+type yieldKind int
+
+const (
+	yieldMove yieldKind = iota + 1
+	yieldAwait
+	yieldDone
+)
+
+type yieldEvent struct {
+	kind yieldKind
+	err  error
+}
+
+type agentState struct {
+	id      int
+	home    ring.NodeID
+	node    ring.NodeID
+	status  Status
+	mailbox []Message
+	moves   int
+	meter   memmeter.Meter
+	program Program
+
+	api    *apiState
+	resume chan struct{}
+	yield  chan yieldEvent
+	err    error
+}
+
+// Engine drives one execution of a set of agent programs on a ring.
+// An Engine is single-use: construct, Run once, inspect the Result.
+type Engine struct {
+	ring     *ring.Ring
+	agents   []*agentState
+	queues   [][]int // queues[v] = agent ids in transit toward node v (FIFO)
+	sched    Scheduler
+	maxStep  int
+	trace    *Trace
+	observer Observer
+
+	steps     int
+	sent      int
+	delivered int
+
+	shutdownCh chan struct{}
+	wg         sync.WaitGroup
+}
+
+// NewEngine builds an engine for k agents with the given distinct home
+// nodes and per-agent programs. The ring must already exist; tokens are
+// released by the programs themselves.
+func NewEngine(r *ring.Ring, homes []ring.NodeID, programs []Program, opts Options) (*Engine, error) {
+	if r == nil {
+		return nil, fmt.Errorf("%w: nil ring", ErrBadSetup)
+	}
+	k, n := len(homes), r.Size()
+	if k == 0 {
+		return nil, fmt.Errorf("%w: no agents", ErrBadSetup)
+	}
+	if k != len(programs) {
+		return nil, fmt.Errorf("%w: %d homes but %d programs", ErrBadSetup, k, len(programs))
+	}
+	if k > n {
+		return nil, fmt.Errorf("%w: %d agents exceed %d nodes", ErrBadSetup, k, n)
+	}
+	seen := make(map[ring.NodeID]bool, k)
+	for i, h := range homes {
+		if h < 0 || int(h) >= n {
+			return nil, fmt.Errorf("%w: home %d out of range", ErrBadSetup, h)
+		}
+		if seen[h] {
+			return nil, fmt.Errorf("%w: duplicate home node %d", ErrBadSetup, h)
+		}
+		if programs[i] == nil {
+			return nil, fmt.Errorf("%w: nil program for agent %d", ErrBadSetup, i)
+		}
+		seen[h] = true
+	}
+	sched := opts.Scheduler
+	if sched == nil {
+		sched = NewRoundRobin()
+	}
+	maxStep := opts.MaxSteps
+	if maxStep == 0 {
+		// The costliest algorithm makes O(14 n) moves per agent plus
+		// wake-ups; 1000 + 400*n*k covers everything with a wide margin.
+		maxStep = 1000 + 400*n*k
+	}
+	e := &Engine{
+		ring:       r,
+		queues:     make([][]int, n),
+		sched:      sched,
+		maxStep:    maxStep,
+		trace:      opts.Trace,
+		observer:   opts.Observer,
+		shutdownCh: make(chan struct{}),
+	}
+	e.agents = make([]*agentState, k)
+	for i := range homes {
+		a := &agentState{
+			id:      i,
+			home:    homes[i],
+			node:    homes[i],
+			status:  StatusInTransit, // in the home node's incoming buffer
+			program: programs[i],
+			resume:  make(chan struct{}),
+			yield:   make(chan yieldEvent, 2),
+		}
+		a.api = &apiState{e: e, a: a}
+		e.agents[i] = a
+		// The initial configuration stores each agent in the incoming
+		// buffer of its home node, so it acts there before any visitor.
+		e.queues[homes[i]] = append(e.queues[homes[i]], i)
+	}
+	return e, nil
+}
+
+// Run executes until quiescence (no enabled atomic action) and returns
+// the outcome. It is an error for any agent program to fail or for the
+// step limit to be reached.
+func (e *Engine) Run() (Result, error) {
+	for i := range e.agents {
+		e.wg.Add(1)
+		go e.runAgent(e.agents[i])
+	}
+	var runErr error
+	if e.observer != nil {
+		e.observer(e.snapshot())
+	}
+	for {
+		choices := e.enabledChoices()
+		if len(choices) == 0 {
+			break
+		}
+		if e.steps >= e.maxStep {
+			runErr = fmt.Errorf("%w (limit %d)", ErrStepLimit, e.maxStep)
+			break
+		}
+		pick := e.sched.Pick(e.steps, choices)
+		if pick < 0 || pick >= len(choices) {
+			runErr = fmt.Errorf("%w: scheduler picked %d of %d choices", ErrBadSetup, pick, len(choices))
+			break
+		}
+		if err := e.activate(choices[pick]); err != nil {
+			runErr = err
+			break
+		}
+		e.steps++
+		if e.observer != nil {
+			e.observer(e.snapshot())
+		}
+	}
+	e.shutdown()
+	res := e.result()
+	if runErr == nil {
+		for _, a := range e.agents {
+			if a.err != nil {
+				runErr = fmt.Errorf("agent %d: %w", a.id, a.err)
+				break
+			}
+		}
+	}
+	return res, runErr
+}
+
+// enabledChoices enumerates every enabled atomic action in a fixed,
+// deterministic order.
+func (e *Engine) enabledChoices() []Choice {
+	var out []Choice
+	for v := 0; v < e.ring.Size(); v++ {
+		if len(e.queues[v]) > 0 {
+			out = append(out, Choice{Kind: ChoiceArrival, Agent: e.queues[v][0], Node: ring.NodeID(v)})
+		}
+	}
+	for _, a := range e.agents {
+		if a.status == StatusWaiting && len(a.mailbox) > 0 {
+			out = append(out, Choice{Kind: ChoiceWake, Agent: a.id, Node: a.node})
+		}
+	}
+	return out
+}
+
+// activate performs one atomic action for the chosen agent.
+func (e *Engine) activate(c Choice) error {
+	a := e.agents[c.Agent]
+	switch c.Kind {
+	case ChoiceArrival:
+		q := e.queues[c.Node]
+		if len(q) == 0 || q[0] != a.id {
+			return fmt.Errorf("%w: arrival choice desynchronized", ErrBadSetup)
+		}
+		e.queues[c.Node] = q[1:]
+		a.node = c.Node
+		e.traceEvent(a, "arrive", "")
+	case ChoiceWake:
+		e.traceEvent(a, "wake", "")
+	default:
+		return fmt.Errorf("%w: unknown choice kind %d", ErrBadSetup, c.Kind)
+	}
+	// Step 2 of the atomic action: deliver all queued messages. Whatever
+	// the program does not read is consumed anyway.
+	e.delivered += len(a.mailbox)
+	a.api.inbox = a.mailbox
+	a.mailbox = nil
+
+	a.resume <- struct{}{}
+	ev := <-a.yield
+	// Unconsumed messages vanish at the end of the atomic action.
+	a.api.inbox = nil
+	switch ev.kind {
+	case yieldMove:
+		dest := e.ring.Next(a.node)
+		a.moves++
+		a.status = StatusInTransit
+		e.queues[dest] = append(e.queues[dest], a.id)
+		e.traceEvent(a, "move", "")
+	case yieldAwait:
+		a.status = StatusWaiting
+		e.traceEvent(a, "await", "")
+	case yieldDone:
+		a.status = StatusHalted
+		a.err = ev.err
+		e.traceEvent(a, "halt", "")
+		if ev.err != nil {
+			return fmt.Errorf("agent %d failed: %w", a.id, ev.err)
+		}
+	default:
+		return fmt.Errorf("%w: unknown yield kind %d", ErrBadSetup, ev.kind)
+	}
+	return nil
+}
+
+// runAgent is the per-agent goroutine wrapper.
+func (e *Engine) runAgent(a *agentState) {
+	defer e.wg.Done()
+	// Wait for the first activation (arrival at the home node).
+	select {
+	case <-a.resume:
+	case <-e.shutdownCh:
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if err, ok := r.(error); ok && errors.Is(err, errStopped) {
+				// Clean retirement at engine shutdown; the agent stays in
+				// whatever suspended state it was in.
+				return
+			}
+			a.yield <- yieldEvent{kind: yieldDone, err: fmt.Errorf("program panic: %v", r)}
+		}
+	}()
+	err := a.program.Run(a.api)
+	a.yield <- yieldEvent{kind: yieldDone, err: err}
+}
+
+// shutdown retires all remaining agent goroutines (those suspended in
+// AwaitMessages at quiescence) and waits for them to exit.
+func (e *Engine) shutdown() {
+	close(e.shutdownCh)
+	e.wg.Wait()
+	// Drain any final yield events emitted during teardown.
+	for _, a := range e.agents {
+		select {
+		case <-a.yield:
+		default:
+		}
+	}
+}
+
+func (e *Engine) traceEvent(a *agentState, kind, detail string) {
+	if e.trace != nil {
+		e.trace.add(Event{Step: e.steps, Agent: a.id, Node: a.node, Kind: kind, Detail: detail})
+	}
+}
+
+// apiState implements API for one agent.
+type apiState struct {
+	e     *Engine
+	a     *agentState
+	inbox []Message
+}
+
+var _ API = (*apiState)(nil)
+
+func (p *apiState) yieldAndWait(k yieldKind) {
+	p.a.yield <- yieldEvent{kind: k}
+	select {
+	case <-p.a.resume:
+	case <-p.e.shutdownCh:
+		panic(errStopped)
+	}
+}
+
+// Move implements API.
+func (p *apiState) Move() { p.yieldAndWait(yieldMove) }
+
+// ReleaseToken implements API.
+func (p *apiState) ReleaseToken() {
+	p.e.ring.AddToken(p.a.node)
+	p.e.traceEvent(p.a, "token", "")
+}
+
+// TokensHere implements API.
+func (p *apiState) TokensHere() int { return p.e.ring.Tokens(p.a.node) }
+
+// AgentsHere implements API.
+func (p *apiState) AgentsHere() int {
+	count := 0
+	for _, other := range p.e.agents {
+		if other.id == p.a.id {
+			continue
+		}
+		if other.node == p.a.node && (other.status == StatusWaiting || other.status == StatusHalted) {
+			count++
+		}
+	}
+	return count
+}
+
+// Broadcast implements API.
+func (p *apiState) Broadcast(msg Message) {
+	p.e.sent++
+	for _, other := range p.e.agents {
+		if other.id == p.a.id || other.node != p.a.node {
+			continue
+		}
+		// Halted agents never change state again; messages to them are
+		// sent but ignored (the model permits sending, the recipient just
+		// never reacts).
+		if other.status == StatusWaiting {
+			other.mailbox = append(other.mailbox, msg)
+		}
+	}
+	p.e.traceEvent(p.a, "broadcast", "")
+}
+
+// Messages implements API.
+func (p *apiState) Messages() []Message {
+	out := p.inbox
+	p.inbox = nil
+	return out
+}
+
+// AwaitMessages implements API.
+func (p *apiState) AwaitMessages() []Message {
+	if len(p.inbox) > 0 {
+		return p.Messages()
+	}
+	p.yieldAndWait(yieldAwait)
+	return p.Messages()
+}
+
+// Meter implements API.
+func (p *apiState) Meter() *memmeter.Meter { return &p.a.meter }

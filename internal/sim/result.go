@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"agentring/internal/ring"
+)
+
+// AgentReport is the per-agent outcome of a run.
+type AgentReport struct {
+	// Home is the agent's initial node.
+	Home ring.NodeID
+	// Node is the node the agent occupies (or was last at, if it somehow
+	// remained in transit) when the run ended.
+	Node ring.NodeID
+	// Moves counts the agent's link traversals.
+	Moves int
+	// Status is the agent's final lifecycle state.
+	Status Status
+	// PeakWords is the maximum number of simultaneously live memory
+	// words the agent's program metered.
+	PeakWords int
+	// Err is the program's error, if any.
+	Err error
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Steps is the number of atomic actions executed.
+	Steps int
+	// Rounds is the ideal-time measurement when the scheduler was
+	// synchronous (zero otherwise).
+	Rounds int
+	// TotalMoves is the sum of all agents' moves.
+	TotalMoves int
+	// MessagesSent counts Broadcast calls; MessagesDelivered counts
+	// per-recipient deliveries.
+	MessagesSent      int
+	MessagesDelivered int
+	// Agents holds per-agent reports, indexed like the homes/programs
+	// slices given to NewEngine.
+	Agents []AgentReport
+	// Tokens is the final per-node token count (the T component of the
+	// final configuration).
+	Tokens []int
+	// QueuesEmpty reports whether all link FIFO queues were empty at the
+	// end — required by both Definition 1 and Definition 2.
+	QueuesEmpty bool
+	// MailboxesEmpty reports whether every non-halted agent ended with an
+	// empty mailbox — required by Definition 2.
+	MailboxesEmpty bool
+}
+
+// Positions returns each agent's final node.
+func (r Result) Positions() []ring.NodeID {
+	out := make([]ring.NodeID, len(r.Agents))
+	for i, a := range r.Agents {
+		out[i] = a.Node
+	}
+	return out
+}
+
+// AllHalted reports whether every agent ended in the halt state
+// (Definition 1 termination).
+func (r Result) AllHalted() bool {
+	for _, a := range r.Agents {
+		if a.Status != StatusHalted {
+			return false
+		}
+	}
+	return true
+}
+
+// AllSuspended reports whether every agent ended in a suspended state
+// (Definition 2 termination without detection).
+func (r Result) AllSuspended() bool {
+	for _, a := range r.Agents {
+		if a.Status != StatusWaiting {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxMoves returns the largest per-agent move count.
+func (r Result) MaxMoves() int {
+	max := 0
+	for _, a := range r.Agents {
+		if a.Moves > max {
+			max = a.Moves
+		}
+	}
+	return max
+}
+
+// MaxPeakWords returns the largest per-agent peak memory (words).
+func (r Result) MaxPeakWords() int {
+	max := 0
+	for _, a := range r.Agents {
+		if a.PeakWords > max {
+			max = a.PeakWords
+		}
+	}
+	return max
+}
+
+func (e *Engine) result() Result {
+	res := Result{
+		Steps:             e.steps,
+		TotalMoves:        0,
+		MessagesSent:      e.sent,
+		MessagesDelivered: e.delivered,
+		Agents:            make([]AgentReport, len(e.agents)),
+		Tokens:            e.ring.TokenSnapshot(),
+		QueuesEmpty:       true,
+		MailboxesEmpty:    true,
+	}
+	if rc, ok := e.sched.(RoundCounter); ok {
+		res.Rounds = rc.Rounds()
+	}
+	for _, q := range e.queues {
+		if len(q) > 0 {
+			res.QueuesEmpty = false
+		}
+	}
+	for i, a := range e.agents {
+		res.Agents[i] = AgentReport{
+			Home:      a.home,
+			Node:      a.node,
+			Moves:     a.moves,
+			Status:    a.status,
+			PeakWords: a.meter.Peak(),
+			Err:       a.err,
+		}
+		res.TotalMoves += a.moves
+		if a.status != StatusHalted && len(a.mailbox) > 0 {
+			res.MailboxesEmpty = false
+		}
+	}
+	return res
+}

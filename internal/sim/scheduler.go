@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"math/rand"
+
+	"agentring/internal/ring"
+)
+
+// ChoiceKind distinguishes the two ways an agent can be enabled.
+type ChoiceKind int
+
+// Kinds of scheduling choices.
+const (
+	// ChoiceArrival schedules the head of a link's FIFO queue to arrive
+	// at its destination node and take an atomic action there.
+	ChoiceArrival ChoiceKind = iota + 1
+	// ChoiceWake schedules a suspended agent with a non-empty mailbox to
+	// receive its messages and take an atomic action.
+	ChoiceWake
+)
+
+// Choice is one enabled atomic action the scheduler may pick.
+type Choice struct {
+	Kind  ChoiceKind
+	Agent int         // engine-internal agent index
+	Node  ring.NodeID // arrival destination, or the node a waking agent stays at
+}
+
+// Scheduler selects which enabled atomic action happens next. Pick
+// receives the engine step number and the non-empty slice of enabled
+// choices (in a deterministic order: arrivals by destination node
+// ascending, then wakes by agent index ascending) and returns the index
+// of the chosen one. Implementations must be fair: every persistently
+// enabled agent must eventually be picked.
+type Scheduler interface {
+	Pick(step int, choices []Choice) int
+}
+
+// RoundCounter is implemented by schedulers that group actions into
+// synchronous rounds; the engine surfaces Rounds as the run's ideal-time
+// measurement.
+type RoundCounter interface {
+	Rounds() int
+}
+
+// RoundRobin activates agents cyclically by agent index: after agent i
+// acts, the next enabled agent in index order (wrapping) acts. It is the
+// engine's default and is trivially fair.
+type RoundRobin struct {
+	last int
+}
+
+// NewRoundRobin returns a round-robin scheduler.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{last: -1} }
+
+// Pick implements Scheduler.
+func (s *RoundRobin) Pick(_ int, choices []Choice) int {
+	bestIdx, bestKey := 0, int(^uint(0)>>1)
+	for i, c := range choices {
+		// Distance (cyclic by a large bound) from the last scheduled agent.
+		key := c.Agent - s.last
+		if key <= 0 {
+			key += 1 << 30
+		}
+		if key < bestKey {
+			bestKey, bestIdx = key, i
+		}
+	}
+	s.last = choices[bestIdx].Agent
+	return bestIdx
+}
+
+// Random picks a uniformly random enabled action. With a fixed seed the
+// whole run is deterministic. Random scheduling is fair with
+// probability 1.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a Random scheduler seeded with seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Pick implements Scheduler.
+func (s *Random) Pick(_ int, choices []Choice) int {
+	return s.rng.Intn(len(choices))
+}
+
+// Synchronous emulates the paper's ideal-time measure: execution
+// proceeds in rounds, and in each round every agent that was enabled at
+// the start of the round takes exactly one atomic action. Rounds()
+// reports how many rounds elapsed, which is the ideal time complexity
+// (an agent moving continuously takes one move per round).
+type Synchronous struct {
+	pending map[int]bool
+	rounds  int
+}
+
+// NewSynchronous returns a round-synchronous scheduler.
+func NewSynchronous() *Synchronous {
+	return &Synchronous{pending: make(map[int]bool)}
+}
+
+// Pick implements Scheduler.
+func (s *Synchronous) Pick(_ int, choices []Choice) int {
+	for i, c := range choices {
+		if s.pending[c.Agent] {
+			delete(s.pending, c.Agent)
+			return i
+		}
+	}
+	// No agent from the frozen round set is still enabled: start a new
+	// round with the currently enabled agents.
+	s.rounds++
+	for _, c := range choices {
+		s.pending[c.Agent] = true
+	}
+	delete(s.pending, choices[0].Agent)
+	return 0
+}
+
+// Rounds implements RoundCounter.
+func (s *Synchronous) Rounds() int { return s.rounds }
+
+// Adversarial delays low-priority agents as long as its fairness bound
+// allows: it prefers the enabled agent with the highest index, but any
+// agent that has been passed over MaxSkip times in a row is scheduled
+// immediately. This produces maximally skewed (yet fair) interleavings
+// and long in-transit residence, stressing the algorithms' asynchrony
+// tolerance.
+type Adversarial struct {
+	maxSkip int
+	skips   map[int]int
+}
+
+// NewAdversarial returns an adversarial scheduler with the given
+// fairness bound (how many times an enabled agent may be passed over
+// before it must run). Bounds < 1 are clamped to 1.
+func NewAdversarial(maxSkip int) *Adversarial {
+	if maxSkip < 1 {
+		maxSkip = 1
+	}
+	return &Adversarial{maxSkip: maxSkip, skips: make(map[int]int)}
+}
+
+// Pick implements Scheduler.
+func (s *Adversarial) Pick(_ int, choices []Choice) int {
+	pick := 0
+	// Forced pick: the longest-starved agent at or beyond the bound.
+	forced, forcedSkips := -1, 0
+	for i, c := range choices {
+		if sk := s.skips[c.Agent]; sk >= s.maxSkip && sk >= forcedSkips {
+			forced, forcedSkips = i, sk
+		}
+	}
+	if forced >= 0 {
+		pick = forced
+	} else {
+		for i, c := range choices {
+			if c.Agent > choices[pick].Agent {
+				pick = i
+			}
+		}
+	}
+	for i, c := range choices {
+		if i == pick {
+			s.skips[c.Agent] = 0
+		} else {
+			s.skips[c.Agent]++
+		}
+	}
+	return pick
+}
+
+var (
+	_ Scheduler    = (*RoundRobin)(nil)
+	_ Scheduler    = (*Random)(nil)
+	_ Scheduler    = (*Synchronous)(nil)
+	_ Scheduler    = (*Adversarial)(nil)
+	_ RoundCounter = (*Synchronous)(nil)
+)

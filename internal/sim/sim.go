@@ -1,0 +1,125 @@
+// Package sim executes mobile-agent algorithms on an asynchronous
+// unidirectional ring with exactly the semantics of Section 2 of the
+// paper.
+//
+// Each agent runs as its own goroutine executing a Program against the
+// API; the engine activates exactly one agent at a time, so executions
+// are deterministic given a scheduler, yet the agent code reads like the
+// paper's sequential pseudocode. An activation is one atomic action:
+//
+//  1. the agent arrives at a node (popped from the head of the incoming
+//     FIFO link queue) or is woken while staying at a node,
+//  2. all queued messages are delivered (and any it does not consume are
+//     dropped — "after taking an atomic action, the agent has no
+//     message"),
+//  3. the agent performs local computation (token release, broadcasts to
+//     co-located staying agents), and
+//  4. it either moves (appending itself to the tail of the outgoing FIFO
+//     link), suspends awaiting a message, or halts (its Run returns).
+//
+// Initially each agent sits alone in the incoming buffer of its home
+// node, which guarantees it is the first agent to act there, matching
+// the paper's initial-configuration assumption.
+//
+// Fairness is the scheduler's contract: every enabled agent must be
+// chosen infinitely often. All schedulers in this package are fair; the
+// adversarial one is fair with the maximum skew its bound allows.
+package sim
+
+import (
+	"agentring/internal/memmeter"
+)
+
+// Message is an arbitrary payload broadcast between co-located agents.
+// The model allows messages of any size.
+type Message any
+
+// Program is the algorithm one agent executes. Run is invoked on the
+// agent's own goroutine once the agent is first activated at its home
+// node, and must interact with the ring exclusively through api.
+// Returning from Run puts the agent in the halt state (Definition 1);
+// blocking forever in AwaitMessages leaves it in a suspended state
+// (Definition 2). A non-nil error aborts the whole run.
+type Program interface {
+	Run(api API) error
+}
+
+// ProgramFunc adapts a function to the Program interface.
+type ProgramFunc func(api API) error
+
+// Run implements Program.
+func (f ProgramFunc) Run(api API) error { return f(api) }
+
+// API is the world as one anonymous agent sees it. All methods must be
+// called from the agent's own Run goroutine.
+type API interface {
+	// Move ends the current atomic action by moving the agent to the next
+	// node in the (unidirectional) forward direction. It returns when the
+	// agent has arrived and its next atomic action begins.
+	Move()
+
+	// ReleaseToken drops the indelible token at the current node.
+	// The model gives each agent one token; releasing more than once is
+	// the program's responsibility to avoid (the substrate allows stacked
+	// tokens, as does the formal model's per-node counter).
+	ReleaseToken()
+
+	// TokensHere returns the token count at the current node.
+	TokensHere() int
+
+	// AgentsHere returns the number of other agents currently staying at
+	// this node (suspended, waiting, or halted). Agents in transit on
+	// links are invisible, as are agents mid-activation (there are none:
+	// only one agent acts at a time).
+	AgentsHere() int
+
+	// Broadcast sends msg to every other agent staying at the current
+	// node. Messages reach a recipient's mailbox immediately and are
+	// delivered at its next activation. Halted agents ignore messages.
+	Broadcast(msg Message)
+
+	// Messages drains and returns the messages delivered at the start of
+	// this atomic action, without blocking. Unread messages are consumed
+	// (dropped) when the action ends.
+	Messages() []Message
+
+	// AwaitMessages suspends the agent (ending the current atomic action)
+	// until at least one message arrives, then returns all delivered
+	// messages. If messages delivered in the current action are still
+	// unread it returns those immediately without suspending.
+	AwaitMessages() []Message
+
+	// Meter is the agent's memory meter; algorithms account their live
+	// state through it so memory claims can be measured.
+	Meter() *memmeter.Meter
+}
+
+// Status describes where an agent is in its lifecycle.
+type Status int
+
+// Agent lifecycle states.
+const (
+	// StatusInTransit means the agent is inside a link's FIFO queue
+	// (including the initial home-node incoming buffer).
+	StatusInTransit Status = iota + 1
+	// StatusWaiting means the agent stays at a node blocked in
+	// AwaitMessages — the paper's suspended state.
+	StatusWaiting
+	// StatusHalted means the agent's Run returned — the paper's halt
+	// state.
+	StatusHalted
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusInTransit:
+		return "in-transit"
+	case StatusWaiting:
+		return "waiting"
+	case StatusHalted:
+		return "halted"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,247 @@
+package sim
+
+import (
+	"fmt"
+
+	"agentring/internal/ring"
+)
+
+// Configuration is a full snapshot of the global configuration
+// C = (S, T, M, P, Q) of Table 2 in the paper, taken between atomic
+// actions.
+type Configuration struct {
+	// Step is the number of atomic actions executed before this
+	// snapshot.
+	Step int
+	// Statuses is S: the lifecycle state of each agent (full local agent
+	// state lives inside the running program and is intentionally
+	// opaque, as the model's S is algorithm-specific).
+	Statuses []Status
+	// Tokens is T: per-node token counts.
+	Tokens []int
+	// MailboxSizes is M: the number of delivered-but-unconsumed messages
+	// per agent.
+	MailboxSizes []int
+	// Staying is P: for each node, the agents staying there (waiting or
+	// halted), in agent-index order.
+	Staying [][]int
+	// InTransit is Q: for each node v, the FIFO queue of agents in
+	// transit toward v (head first).
+	InTransit [][]int
+	// Moves is the per-agent cumulative move count (not part of the
+	// paper's C; carried for invariant checking).
+	Moves []int
+}
+
+// Observer receives a configuration snapshot after every atomic action
+// (and once before the first). Observers must not retain the slices
+// beyond the call unless they copy them — the engine allocates a fresh
+// snapshot per call, but auditors commonly keep only aggregates.
+type Observer func(Configuration)
+
+// snapshot builds the current global configuration.
+func (e *Engine) snapshot() Configuration {
+	n := e.ring.Size()
+	k := len(e.agents)
+	cfg := Configuration{
+		Step:         e.steps,
+		Statuses:     make([]Status, k),
+		Tokens:       e.ring.TokenSnapshot(),
+		MailboxSizes: make([]int, k),
+		Staying:      make([][]int, n),
+		InTransit:    make([][]int, n),
+		Moves:        make([]int, k),
+	}
+	for i, a := range e.agents {
+		cfg.Statuses[i] = a.status
+		cfg.MailboxSizes[i] = len(a.mailbox)
+		cfg.Moves[i] = a.moves
+		if a.status == StatusWaiting || a.status == StatusHalted {
+			cfg.Staying[a.node] = append(cfg.Staying[a.node], i)
+		}
+	}
+	for v := range e.queues {
+		cfg.InTransit[v] = append([]int(nil), e.queues[v]...)
+	}
+	return cfg
+}
+
+// Auditor checks execution invariants of the Section 2 model across a
+// stream of configuration snapshots. Wire its Observe method into
+// Options.Observer and call Err at the end.
+type Auditor struct {
+	prev    *Configuration
+	haltPos map[int]ring.NodeID
+	err     error
+}
+
+// NewAuditor returns an auditor ready to observe a run.
+func NewAuditor() *Auditor {
+	return &Auditor{haltPos: make(map[int]ring.NodeID)}
+}
+
+// Observe implements Observer.
+func (a *Auditor) Observe(cfg Configuration) {
+	if a.err != nil {
+		return
+	}
+	a.err = a.check(cfg)
+	prev := cfg
+	a.prev = &prev
+}
+
+// Err returns the first invariant violation observed, or nil.
+func (a *Auditor) Err() error { return a.err }
+
+func (a *Auditor) check(cfg Configuration) error {
+	// (1) Every agent occupies exactly one place: staying at one node or
+	// in exactly one link queue.
+	k := len(cfg.Statuses)
+	places := make([]int, k)
+	for v, agents := range cfg.Staying {
+		for _, id := range agents {
+			if id < 0 || id >= k {
+				return fmt.Errorf("audit: bogus agent %d staying at node %d", id, v)
+			}
+			places[id]++
+		}
+	}
+	for v, q := range cfg.InTransit {
+		for _, id := range q {
+			if id < 0 || id >= k {
+				return fmt.Errorf("audit: bogus agent %d in transit to node %d", id, v)
+			}
+			places[id]++
+		}
+	}
+	for id, c := range places {
+		if c != 1 {
+			return fmt.Errorf("audit: step %d: agent %d occupies %d places", cfg.Step, id, c)
+		}
+		switch cfg.Statuses[id] {
+		case StatusInTransit:
+			if !inSomeQueue(cfg.InTransit, id) {
+				return fmt.Errorf("audit: step %d: agent %d marked in-transit but not queued", cfg.Step, id)
+			}
+		case StatusWaiting, StatusHalted:
+			if inSomeQueue(cfg.InTransit, id) {
+				return fmt.Errorf("audit: step %d: staying agent %d found in a queue", cfg.Step, id)
+			}
+		default:
+			return fmt.Errorf("audit: step %d: agent %d has unknown status", cfg.Step, id)
+		}
+	}
+	if a.prev == nil {
+		return nil
+	}
+	prev := a.prev
+	// (2) Tokens are indelible: per-node counts never decrease.
+	for v := range cfg.Tokens {
+		if cfg.Tokens[v] < prev.Tokens[v] {
+			return fmt.Errorf("audit: step %d: token count at node %d dropped %d -> %d",
+				cfg.Step, v, prev.Tokens[v], cfg.Tokens[v])
+		}
+	}
+	// (3) Move counters never decrease, and at most one agent moves per
+	// atomic action.
+	movers := 0
+	for id := range cfg.Moves {
+		switch {
+		case cfg.Moves[id] < prev.Moves[id]:
+			return fmt.Errorf("audit: step %d: agent %d move count decreased", cfg.Step, id)
+		case cfg.Moves[id] > prev.Moves[id]:
+			movers++
+			if cfg.Moves[id] != prev.Moves[id]+1 {
+				return fmt.Errorf("audit: step %d: agent %d moved %d times in one action",
+					cfg.Step, id, cfg.Moves[id]-prev.Moves[id])
+			}
+		}
+	}
+	if movers > 1 {
+		return fmt.Errorf("audit: step %d: %d agents moved in one atomic action", cfg.Step, movers)
+	}
+	// (4) Halted agents never change state or position again.
+	for id, pos := range a.haltPos {
+		if cfg.Statuses[id] != StatusHalted {
+			return fmt.Errorf("audit: step %d: halted agent %d resurrected", cfg.Step, id)
+		}
+		if got := stayingNode(cfg.Staying, id); got != pos {
+			return fmt.Errorf("audit: step %d: halted agent %d moved %d -> %d", cfg.Step, id, pos, got)
+		}
+	}
+	for id, st := range cfg.Statuses {
+		if st == StatusHalted {
+			if _, ok := a.haltPos[id]; !ok {
+				a.haltPos[id] = stayingNode(cfg.Staying, id)
+			}
+		}
+	}
+	// (5) FIFO: a queue changes only by popping its head or pushing at
+	// its tail. Both at once is possible only on a 1-node ring, where an
+	// arriving agent's move re-enters the same queue.
+	allowReentry := len(cfg.Tokens) == 1
+	for v := range cfg.InTransit {
+		if !fifoEvolution(prev.InTransit[v], cfg.InTransit[v], allowReentry) {
+			return fmt.Errorf("audit: step %d: queue to node %d mutated non-FIFO: %v -> %v",
+				cfg.Step, v, prev.InTransit[v], cfg.InTransit[v])
+		}
+	}
+	return nil
+}
+
+func inSomeQueue(queues [][]int, id int) bool {
+	for _, q := range queues {
+		for _, x := range q {
+			if x == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func stayingNode(staying [][]int, id int) ring.NodeID {
+	for v, agents := range staying {
+		for _, x := range agents {
+			if x == id {
+				return ring.NodeID(v)
+			}
+		}
+	}
+	return -1
+}
+
+// fifoEvolution reports whether next can be derived from prev by one
+// atomic action: unchanged, its head popped, or one element pushed at
+// the tail. With allowReentry (1-node rings) the popped head may also
+// reappear as the pushed tail element.
+func fifoEvolution(prev, next []int, allowReentry bool) bool {
+	eq := func(a, b []int) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if eq(prev, next) {
+		return true
+	}
+	// Head popped.
+	if len(prev) > 0 && eq(prev[1:], next) {
+		return true
+	}
+	// Tail pushed.
+	if len(next) == len(prev)+1 && eq(prev, next[:len(prev)]) {
+		return true
+	}
+	// Re-entry: head popped and the same agent pushed at the tail.
+	if allowReentry && len(prev) > 0 && len(next) == len(prev) &&
+		eq(prev[1:], next[:len(next)-1]) && next[len(next)-1] == prev[0] {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"agentring/internal/ring"
+)
+
+// Event is one recorded engine occurrence.
+type Event struct {
+	Step   int
+	Agent  int
+	Node   ring.NodeID
+	Kind   string // arrive, wake, move, await, halt, token, broadcast
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (ev Event) String() string {
+	s := fmt.Sprintf("step %5d  agent %3d  node %4d  %s", ev.Step, ev.Agent, ev.Node, ev.Kind)
+	if ev.Detail != "" {
+		s += " " + ev.Detail
+	}
+	return s
+}
+
+// Trace records execution events up to a capacity; once full, the oldest
+// events are dropped (and counted) so long runs stay bounded.
+type Trace struct {
+	cap     int
+	events  []Event
+	dropped int
+}
+
+// NewTrace returns a trace keeping at most capacity events. A
+// non-positive capacity selects a default of 4096.
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Trace{cap: capacity}
+}
+
+func (t *Trace) add(ev Event) {
+	if len(t.events) == t.cap {
+		copy(t.events, t.events[1:])
+		t.events = t.events[:t.cap-1]
+		t.dropped++
+	}
+	t.events = append(t.events, ev)
+}
+
+// Events returns a copy of the recorded events, oldest first.
+func (t *Trace) Events() []Event {
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Dropped returns how many events were evicted due to the capacity.
+func (t *Trace) Dropped() int { return t.dropped }
+
+// String renders the trace, one event per line.
+func (t *Trace) String() string {
+	var b strings.Builder
+	if t.dropped > 0 {
+		fmt.Fprintf(&b, "(%d earlier events dropped)\n", t.dropped)
+	}
+	for _, ev := range t.events {
+		b.WriteString(ev.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package agentring_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"agentring"
+)
+
+// TestPropertyAllAlgorithmsUniform is the facade-level property test of
+// the paper's headline claim: every algorithm reaches uniform
+// deployment from every (randomly drawn) initial configuration under
+// every scheduler.
+func TestPropertyAllAlgorithmsUniform(t *testing.T) {
+	f := func(nRaw, kRaw, algRaw, schedRaw uint8, seed int64) bool {
+		n := int(nRaw%46) + 2
+		k := int(kRaw)%n + 1
+		algs := []agentring.Algorithm{
+			agentring.Native, agentring.NativeKnowN, agentring.LogSpace, agentring.Relaxed,
+		}
+		scheds := []agentring.SchedulerKind{
+			agentring.RoundRobin, agentring.RandomSched, agentring.Synchronous, agentring.Adversarial,
+		}
+		alg := algs[int(algRaw)%len(algs)]
+		sched := scheds[int(schedRaw)%len(scheds)]
+		homes, err := agentring.RandomHomes(n, k, seed)
+		if err != nil {
+			return false
+		}
+		rep, err := agentring.Run(alg, agentring.Config{
+			N: n, Homes: homes, Scheduler: sched, Seed: seed, AdversaryBound: 6,
+		})
+		if err != nil {
+			t.Logf("n=%d k=%d alg=%s sched=%d seed=%d: %v", n, k, alg, sched, seed, err)
+			return false
+		}
+		if !rep.Uniform {
+			t.Logf("n=%d k=%d alg=%s sched=%d seed=%d: %s", n, k, alg, sched, seed, rep.Why)
+			return false
+		}
+		// Per-agent sanity: everyone either halted (knowledge variants)
+		// or suspended (relaxed).
+		for _, a := range rep.Agents {
+			if alg == agentring.Relaxed && !a.Suspended {
+				return false
+			}
+			if alg != agentring.Relaxed && !a.Halted {
+				return false
+			}
+		}
+		// The final configuration's own symmetry degree is maximal when
+		// n is a multiple of k: uniform gaps repeat k times.
+		if n%k == 0 {
+			deg, err := agentring.SymmetryDegree(n, rep.Positions)
+			if err != nil || deg != k {
+				t.Logf("n=%d k=%d: final degree %d, want %d", n, k, deg, k)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMovesWithinPaperBounds asserts the per-agent move bounds
+// of Theorems 3, 4 and 6 on random instances.
+func TestPropertyMovesWithinPaperBounds(t *testing.T) {
+	f := func(nRaw, kRaw uint8, seed int64) bool {
+		n := int(nRaw%46) + 2
+		k := int(kRaw)%n + 1
+		homes, err := agentring.RandomHomes(n, k, seed)
+		if err != nil {
+			return false
+		}
+		l, err := agentring.SymmetryDegree(n, homes)
+		if err != nil {
+			return false
+		}
+		type bound struct {
+			alg agentring.Algorithm
+			max int
+		}
+		checks := []bound{
+			{agentring.Native, 3 * n},                    // 1 circuit + <=2n deployment
+			{agentring.LogSpace, (ceilLog2(k) + 4) * n},  // log k sub-phases + deployment slack
+			{agentring.Relaxed, 14*(n/l) + 2*(n/l) + 16}, // 12 n/l + target walk, small slack
+		}
+		for _, c := range checks {
+			rep, err := agentring.Run(c.alg, agentring.Config{N: n, Homes: homes})
+			if err != nil {
+				return false
+			}
+			if rep.MaxMoves > c.max {
+				t.Logf("n=%d k=%d l=%d %s: max moves %d > bound %d", n, k, l, c.alg, rep.MaxMoves, c.max)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func ceilLog2(k int) int {
+	bits := 0
+	for v := 1; v < k; v <<= 1 {
+		bits++
+	}
+	return bits
+}

@@ -1,0 +1,130 @@
+package agentring_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"agentring"
+)
+
+func pathEdges(n int) [][2]int {
+	edges := make([][2]int, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	return edges
+}
+
+func TestNewTreeValidation(t *testing.T) {
+	if _, err := agentring.NewTree(3, [][2]int{{0, 1}}); !errors.Is(err, agentring.ErrConfig) {
+		t.Errorf("bad tree err = %v", err)
+	}
+	tree, err := agentring.NewTree(5, pathEdges(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Size() != 5 {
+		t.Errorf("size = %d", tree.Size())
+	}
+}
+
+func TestRunOnTreePath(t *testing.T) {
+	// 9-node path, agents clustered at one end; the Euler ring has 16
+	// virtual nodes. After deployment the ring is exactly uniform and
+	// tree coverage improves substantially.
+	tree, err := agentring.NewTree(9, pathEdges(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agents := []int{0, 1, 2, 3}
+	worstBefore, _, err := tree.Coverage(agents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := agentring.RunOnTree(agentring.Native, tree, 0, agents, agentring.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.VirtualRingSize != 16 {
+		t.Errorf("virtual ring size = %d, want 16", rep.VirtualRingSize)
+	}
+	if !rep.Ring.Uniform {
+		t.Fatalf("virtual ring not uniform: %s", rep.Ring.Why)
+	}
+	if rep.WorstCoverage >= worstBefore {
+		t.Errorf("coverage did not improve: before %d, after %d", worstBefore, rep.WorstCoverage)
+	}
+	// The tour makes each tree distance at most double; uniform virtual
+	// spacing 16/4=4 means worst tree coverage about 2-3.
+	if rep.WorstCoverage > 4 {
+		t.Errorf("worst coverage %d too large", rep.WorstCoverage)
+	}
+}
+
+func TestRunOnTreeAllAlgorithms(t *testing.T) {
+	// Random trees, all three paper algorithms: virtual-ring uniformity
+	// must always hold.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(20)
+		edges := make([][2]int, 0, n-1)
+		for i := 1; i < n; i++ {
+			edges = append(edges, [2]int{rng.Intn(i), i})
+		}
+		tree, err := agentring.NewTree(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 2 + rng.Intn(n/2)
+		agents := rng.Perm(n)[:k]
+		for _, alg := range []agentring.Algorithm{agentring.Native, agentring.LogSpace, agentring.Relaxed} {
+			rep, err := agentring.RunOnTree(alg, tree, rng.Intn(n), agents, agentring.Config{})
+			if err != nil {
+				t.Fatalf("n=%d k=%d %s: %v", n, k, alg, err)
+			}
+			if !rep.Ring.Uniform {
+				t.Fatalf("n=%d k=%d %s: virtual ring not uniform: %s", n, k, alg, rep.Ring.Why)
+			}
+			if len(rep.TreePositions) != k {
+				t.Fatalf("tree positions = %v", rep.TreePositions)
+			}
+		}
+	}
+}
+
+func TestRunOnTreeErrors(t *testing.T) {
+	tree, err := agentring.NewTree(4, pathEdges(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agentring.RunOnTree(agentring.Native, nil, 0, []int{0}, agentring.Config{}); !errors.Is(err, agentring.ErrConfig) {
+		t.Errorf("nil tree err = %v", err)
+	}
+	if _, err := agentring.RunOnTree(agentring.Native, tree, 99, []int{0}, agentring.Config{}); !errors.Is(err, agentring.ErrConfig) {
+		t.Errorf("bad root err = %v", err)
+	}
+	if _, err := agentring.RunOnTree(agentring.Native, tree, 0, []int{1, 1}, agentring.Config{}); !errors.Is(err, agentring.ErrConfig) {
+		t.Errorf("duplicate agents err = %v", err)
+	}
+}
+
+func TestNewSpanningTree(t *testing.T) {
+	// A 6-cycle: the spanning tree drops one edge; deployment still
+	// works through the tree reduction.
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}}
+	tree, err := agentring.NewSpanningTree(6, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := agentring.RunOnTree(agentring.LogSpace, tree, 0, []int{0, 1, 2}, agentring.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ring.Uniform {
+		t.Fatalf("not uniform: %s", rep.Ring.Why)
+	}
+	if _, err := agentring.NewSpanningTree(4, [][2]int{{0, 1}}); !errors.Is(err, agentring.ErrConfig) {
+		t.Errorf("disconnected err = %v", err)
+	}
+}
