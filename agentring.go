@@ -36,6 +36,7 @@ package agentring
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"agentring/internal/baseline"
 	"agentring/internal/core"
@@ -115,8 +116,15 @@ type Config struct {
 	// Seed seeds the RandomSched scheduler.
 	Seed int64
 	// AdversaryBound is the Adversarial scheduler's fairness bound
-	// (how long an enabled agent may be starved); default 8.
+	// (how long an enabled agent may be starved); default
+	// sim.DefaultAdversaryBound.
 	AdversaryBound int
+	// Timeout bounds the wall-clock duration of a RunConcurrent
+	// execution on the message-passing substrate; zero or negative
+	// selects DefaultConcurrentTimeout. Run ignores it (the
+	// deterministic engine is bounded by MaxSteps, not wall-clock
+	// time).
+	Timeout time.Duration
 	// MaxSteps bounds the number of atomic actions (0 = automatic).
 	MaxSteps int
 	// TraceCapacity, if positive, records up to that many execution
@@ -212,7 +220,7 @@ func buildScheduler(cfg Config) (sim.Scheduler, error) {
 	case Adversarial:
 		bound := cfg.AdversaryBound
 		if bound == 0 {
-			bound = 8
+			bound = sim.DefaultAdversaryBound
 		}
 		return sim.NewAdversarial(bound), nil
 	default:

@@ -1,0 +1,120 @@
+package agentring_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"agentring"
+)
+
+func batchJobs(t *testing.T, count int) []agentring.Job {
+	t.Helper()
+	jobs := make([]agentring.Job, count)
+	for i := range jobs {
+		n := 24 + 12*(i%5)
+		homes, err := agentring.RandomHomes(n, 6, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = agentring.Job{
+			Algorithm: agentring.LogSpace,
+			Config:    agentring.Config{N: n, Homes: homes},
+		}
+	}
+	return jobs
+}
+
+func TestRunBatchMatchesSequentialRuns(t *testing.T) {
+	jobs := batchJobs(t, 40)
+	results := agentring.RunBatch(jobs, agentring.BatchOptions{Workers: 4})
+	if len(results) != len(jobs) {
+		t.Fatalf("results = %d, want %d", len(results), len(jobs))
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("job %d: %v", i, res.Err)
+		}
+		want, err := agentring.Run(jobs[i].Algorithm, jobs[i].Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Report.Positions, want.Positions) {
+			t.Errorf("job %d positions %v != sequential %v", i, res.Report.Positions, want.Positions)
+		}
+		if res.Report.Steps != want.Steps {
+			t.Errorf("job %d steps %d != sequential %d", i, res.Report.Steps, want.Steps)
+		}
+		if !reflect.DeepEqual(res.Job, jobs[i]) {
+			t.Errorf("job %d result misordered: %+v", i, res.Job)
+		}
+	}
+}
+
+func TestRunBatchDeterministicAcrossWorkerCounts(t *testing.T) {
+	jobs := batchJobs(t, 25)
+	one := agentring.RunBatch(jobs, agentring.BatchOptions{Workers: 1})
+	many := agentring.RunBatch(jobs, agentring.BatchOptions{Workers: 8})
+	for i := range jobs {
+		if !reflect.DeepEqual(one[i].Report.Positions, many[i].Report.Positions) {
+			t.Errorf("job %d: workers=1 %v, workers=8 %v",
+				i, one[i].Report.Positions, many[i].Report.Positions)
+		}
+	}
+}
+
+func TestRunBatchIsolatesFailures(t *testing.T) {
+	jobs := batchJobs(t, 3)
+	jobs[1].Config.N = -1 // invalid; must fail alone
+	results := agentring.RunBatch(jobs, agentring.BatchOptions{})
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Errorf("healthy jobs failed: %v, %v", results[0].Err, results[2].Err)
+	}
+	if !errors.Is(results[1].Err, agentring.ErrConfig) {
+		t.Errorf("bad job error = %v, want ErrConfig", results[1].Err)
+	}
+}
+
+func TestRunBatchEmpty(t *testing.T) {
+	if got := agentring.RunBatch(nil, agentring.BatchOptions{}); len(got) != 0 {
+		t.Errorf("RunBatch(nil) = %v", got)
+	}
+}
+
+func TestSweepOrdersByConfig(t *testing.T) {
+	var cfgs []agentring.Config
+	for _, n := range []int{16, 24, 32} {
+		homes, err := agentring.UniformHomes(n, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgs = append(cfgs, agentring.Config{N: n, Homes: homes})
+	}
+	results := agentring.Sweep(agentring.Native, cfgs, agentring.BatchOptions{Workers: 2})
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("sweep %d: %v", i, res.Err)
+		}
+		if res.Job.Config.N != cfgs[i].N {
+			t.Errorf("result %d is for n=%d, want n=%d", i, res.Job.Config.N, cfgs[i].N)
+		}
+		if !res.Report.Uniform {
+			t.Errorf("n=%d not uniform: %s", res.Job.Config.N, res.Report.Why)
+		}
+	}
+}
+
+func TestConcurrentTimeoutConfigurable(t *testing.T) {
+	homes, err := agentring.UniformHomes(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1ns budget must trip the netsim deadline, proving Config.Timeout
+	// reaches the substrate.
+	_, err = agentring.RunConcurrent(agentring.Native, agentring.Config{
+		N: 12, Homes: homes, Timeout: 1,
+	})
+	if err == nil {
+		t.Fatal("1ns timeout did not fail the run")
+	}
+}

@@ -266,6 +266,80 @@ func BenchmarkAlgorithmComparison(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineSteadyState measures end-to-end stepping cost of the
+// incremental engine across ring sizes (k fixed at 100, round-robin):
+// ns/step must stay flat as n grows. allocs/op here includes the O(n+k)
+// engine construction each iteration; the allocation-free guarantee of
+// the step loop itself is isolated by internal/sim's
+// BenchmarkSteadyState, which excludes setup from the timed region. The
+// paper's O(n)/O(n log k) time claims are only observable at these
+// scales when simulator overhead is O(1) per action.
+func BenchmarkEngineSteadyState(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		const k = 100
+		b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
+			homes, err := agentring.RandomHomes(n, k, int64(n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rep agentring.Report
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err = agentring.Run(agentring.Native, agentring.Config{N: n, Homes: homes})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if !rep.Uniform {
+				b.Fatal("not uniform")
+			}
+			b.ReportMetric(float64(rep.Steps), "steps/op")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(rep.Steps), "ns/step")
+		})
+	}
+}
+
+// BenchmarkRunBatch measures the batched sweep entry point: many
+// independent runs over a bounded worker pool, the "millions of runs"
+// workload shape. runs/sec is the headline number.
+func BenchmarkRunBatch(b *testing.B) {
+	const jobs = 64
+	mkJobs := func(b *testing.B) []agentring.Job {
+		out := make([]agentring.Job, jobs)
+		for i := range out {
+			homes, err := agentring.RandomHomes(128, 16, int64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			out[i] = agentring.Job{
+				Algorithm: agentring.LogSpace,
+				Config:    agentring.Config{N: 128, Homes: homes},
+			}
+		}
+		return out
+	}
+	for _, workers := range []int{1, 0} { // 0 = all cores
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=all"
+		}
+		b.Run(name, func(b *testing.B) {
+			js := mkJobs(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results := agentring.RunBatch(js, agentring.BatchOptions{Workers: workers})
+				for _, res := range results {
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(jobs)*float64(b.N)/b.Elapsed().Seconds(), "runs/sec")
+		})
+	}
+}
+
 // BenchmarkEngineThroughput measures raw simulator speed (atomic
 // actions per second) to contextualize the other numbers.
 func BenchmarkEngineThroughput(b *testing.B) {

@@ -1,12 +1,16 @@
 // Command sweep regenerates the empirical content of the paper's
 // Table 1: for each algorithm it sweeps (n, k) grids — and symmetry
 // degrees for the relaxed algorithm — and prints measured total moves,
-// ideal time (rounds), and peak per-agent memory.
+// ideal time (rounds), and peak per-agent memory. Runs execute batched
+// across a bounded worker pool (agentring.RunBatch), so large grids
+// scale with the machine.
 //
 // Usage:
 //
 //	sweep                 # all algorithms, default grid
 //	sweep -alg relaxed    # only the relaxed-algorithm degree sweep
+//	sweep -big -workers 4 # larger grid on a 4-worker pool
+//	sweep -json           # machine-readable rows for trend tracking
 package main
 
 import (
@@ -29,10 +33,12 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		algName = fs.String("alg", "all", "algorithm: native | logspace | relaxed | all")
-		seed    = fs.Int64("seed", 1, "base seed")
-		big     = fs.Bool("big", false, "use the larger grid (slower)")
-		chart   = fs.Bool("chart", false, "append ASCII bar charts of total moves")
+		algName  = fs.String("alg", "all", "algorithm: native | logspace | relaxed | all")
+		seed     = fs.Int64("seed", 1, "base seed")
+		big      = fs.Bool("big", false, "use the larger grid (slower)")
+		chart    = fs.Bool("chart", false, "append ASCII bar charts of total moves (table output only)")
+		workers  = fs.Int("workers", 0, "worker pool size (0 = all cores)")
+		jsonFlag = fs.Bool("json", false, "emit rows as JSON instead of tables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -45,40 +51,49 @@ func run(args []string, out io.Writer) error {
 		ks = []int{4, 16, 64, 256}
 	}
 
+	var jsonRows []experiments.Row
+	emit := func(header string, rows []experiments.Row, chartTitle string) {
+		if *jsonFlag {
+			jsonRows = append(jsonRows, rows...)
+			return
+		}
+		fmt.Fprintln(out, header)
+		fmt.Fprint(out, experiments.FormatRows(rows))
+		if *chart && chartTitle != "" {
+			fmt.Fprint(out, experiments.MovesChart(chartTitle, rows))
+		}
+		fmt.Fprintln(out)
+	}
+
 	if *algName == "native" || *algName == "all" {
-		fmt.Fprintln(out, "== Table 1, column 1: Algorithm 1 (knows k) — O(k log n) memory, O(n) time, O(kn) moves ==")
-		rows, err := experiments.Table1Sweep(agentring.Native, ns, ks, *seed)
+		rows, err := experiments.RunAll(experiments.Table1Specs(agentring.Native, ns, ks, *seed), *workers)
 		if err != nil {
 			return err
 		}
-		fmt.Fprint(out, experiments.FormatRows(rows))
-		fmt.Fprintln(out)
+		emit("== Table 1, column 1: Algorithm 1 (knows k) — O(k log n) memory, O(n) time, O(kn) moves ==", rows, "")
 	}
 	if *algName == "logspace" || *algName == "all" {
-		fmt.Fprintln(out, "== Table 1, column 2: Algorithms 2+3 (knows k) — O(log n) memory, O(n log k) time, O(kn) moves ==")
-		rows, err := experiments.Table1Sweep(agentring.LogSpace, ns, ks, *seed)
+		rows, err := experiments.RunAll(experiments.Table1Specs(agentring.LogSpace, ns, ks, *seed), *workers)
 		if err != nil {
 			return err
 		}
-		fmt.Fprint(out, experiments.FormatRows(rows))
-		fmt.Fprintln(out)
+		emit("== Table 1, column 2: Algorithms 2+3 (knows k) — O(log n) memory, O(n log k) time, O(kn) moves ==", rows, "")
 	}
 	if *algName == "relaxed" || *algName == "all" {
-		fmt.Fprintln(out, "== Table 1, column 4: relaxed algorithm (no knowledge) — everything scales with 1/l ==")
 		n, k := 256, 16
 		if *big {
 			n, k = 1024, 32
 		}
 		degrees := divisorsUpTo(k)
-		rows, err := experiments.DegreeSweep(n, k, degrees, *seed)
+		rows, err := experiments.RunAll(experiments.DegreeSpecs(n, k, degrees, *seed), *workers)
 		if err != nil {
 			return err
 		}
-		fmt.Fprint(out, experiments.FormatRows(rows))
-		if *chart {
-			fmt.Fprint(out, experiments.MovesChart("total moves vs symmetry degree (the 1/l adaptivity):", rows))
-		}
-		fmt.Fprintln(out)
+		emit("== Table 1, column 4: relaxed algorithm (no knowledge) — everything scales with 1/l ==", rows,
+			"total moves vs symmetry degree (the 1/l adaptivity):")
+	}
+	if *jsonFlag {
+		return experiments.WriteJSON(out, jsonRows)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -41,6 +42,23 @@ func TestDivisorsUpTo(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("divisors = %v, want %v", got, want)
 		}
+	}
+}
+
+func TestSweepJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-alg", "relaxed", "-json", "-workers", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &rows); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(rows) == 0 {
+		t.Fatal("no JSON rows")
+	}
+	if alg, ok := rows[0]["algorithm"].(string); !ok || alg != "relaxed" {
+		t.Errorf("first row algorithm = %v", rows[0]["algorithm"])
 	}
 }
 

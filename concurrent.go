@@ -7,6 +7,10 @@ import (
 	"agentring/internal/netsim"
 )
 
+// DefaultConcurrentTimeout is the wall-clock bound RunConcurrent applies
+// when Config.Timeout is zero.
+const DefaultConcurrentTimeout = 2 * time.Minute
+
 // RunConcurrent executes the chosen algorithm on the message-passing
 // substrate (internal/netsim): every ring node is its own goroutine,
 // links are FIFO channels, and agents migrate as serialized JSON state
@@ -41,7 +45,11 @@ func RunConcurrent(alg Algorithm, cfg Config) (Report, error) {
 			return Report{}, fmt.Errorf("%w: algorithm %s has no concurrent state machine", ErrConfig, alg)
 		}
 	}
-	res, err := netsim.Run(cfg.N, cfg.Homes, machines, netsim.Options{Timeout: 2 * time.Minute})
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = DefaultConcurrentTimeout
+	}
+	res, err := netsim.Run(cfg.N, cfg.Homes, machines, netsim.Options{Timeout: timeout})
 	if err != nil {
 		return Report{}, fmt.Errorf("concurrent run: %w", err)
 	}

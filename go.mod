@@ -1,0 +1,3 @@
+module agentring
+
+go 1.23

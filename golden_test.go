@@ -1,0 +1,98 @@
+package agentring_test
+
+import (
+	"hash/fnv"
+	"reflect"
+	"testing"
+
+	"agentring"
+)
+
+// TestGoldenDeterminism pins the exact observable behaviour of the
+// simulation engine: final positions, step counts, total moves, and the
+// full trace event sequence (as an FNV-1a hash of the rendered trace)
+// for every algorithm × scheduler combination on one fixed
+// configuration. The expected values were recorded from the
+// goroutine-channel engine that preceded the incremental coroutine
+// engine; any semantic drift in scheduling order, message delivery, or
+// queue handling shows up here as a hash mismatch before it can corrupt
+// an experiment.
+func TestGoldenDeterminism(t *testing.T) {
+	homes := []int{0, 3, 4, 11, 17, 25}
+	const n = 36
+
+	type golden struct {
+		alg       agentring.Algorithm
+		sched     agentring.SchedulerKind
+		positions []int
+		steps     int
+		moves     int
+		traceHash uint64
+	}
+	goldens := []golden{
+		{agentring.Native, agentring.RoundRobin, []int{9, 3, 33, 27, 21, 15}, 414, 408, 0xe851f227703134ff},
+		{agentring.Native, agentring.RandomSched, []int{9, 3, 33, 27, 21, 15}, 414, 408, 0x307b90e14d0b748e},
+		{agentring.Native, agentring.Synchronous, []int{9, 3, 33, 27, 21, 15}, 414, 408, 0x9557ab9c535f7cef},
+		{agentring.Native, agentring.Adversarial, []int{9, 3, 33, 27, 21, 15}, 414, 408, 0x5516ab4480cd13df},
+		{agentring.NativeKnowN, agentring.RoundRobin, []int{9, 3, 33, 27, 21, 15}, 414, 408, 0xe851f227703134ff},
+		{agentring.NativeKnowN, agentring.RandomSched, []int{9, 3, 33, 27, 21, 15}, 414, 408, 0x307b90e14d0b748e},
+		{agentring.NativeKnowN, agentring.Synchronous, []int{9, 3, 33, 27, 21, 15}, 414, 408, 0x9557ab9c535f7cef},
+		{agentring.NativeKnowN, agentring.Adversarial, []int{9, 3, 33, 27, 21, 15}, 414, 408, 0x5516ab4480cd13df},
+		{agentring.LogSpace, agentring.RoundRobin, []int{33, 3, 9, 15, 21, 27}, 491, 480, 0x9e16d3239768adcc},
+		{agentring.LogSpace, agentring.RandomSched, []int{9, 3, 33, 27, 21, 15}, 491, 480, 0x98251ce8586a4e22},
+		{agentring.LogSpace, agentring.Synchronous, []int{15, 3, 9, 33, 27, 21}, 491, 480, 0x3d0753eb1a9bae8f},
+		{agentring.LogSpace, agentring.Adversarial, []int{33, 3, 27, 21, 15, 9}, 491, 480, 0x696535ff658f34f0},
+		{agentring.Relaxed, agentring.RoundRobin, []int{9, 3, 33, 27, 21, 15}, 2790, 2784, 0x8c5cedd18455fe45},
+		{agentring.Relaxed, agentring.RandomSched, []int{9, 3, 33, 27, 21, 15}, 2790, 2784, 0x31a32f2db3ed0614},
+		{agentring.Relaxed, agentring.Synchronous, []int{9, 3, 33, 27, 21, 15}, 2790, 2784, 0x78800e1f0532c845},
+		{agentring.Relaxed, agentring.Adversarial, []int{9, 3, 33, 27, 21, 15}, 2790, 2784, 0x128c4f6cf946c755},
+		{agentring.NaiveHalting, agentring.RoundRobin, []int{9, 3, 33, 27, 21, 15}, 1062, 1056, 0x5175e445bf61d3bb},
+		{agentring.NaiveHalting, agentring.RandomSched, []int{9, 3, 33, 27, 21, 15}, 1062, 1056, 0x685d1d610458d36},
+		{agentring.NaiveHalting, agentring.Synchronous, []int{9, 3, 33, 27, 21, 15}, 1062, 1056, 0xa8d7bd872681289f},
+		{agentring.NaiveHalting, agentring.Adversarial, []int{9, 3, 33, 27, 21, 15}, 1062, 1056, 0xd6c5ae33164133},
+		{agentring.FirstFit, agentring.RoundRobin, []int{6, 9, 10, 17, 23, 31}, 42, 36, 0xacd4220087eb086b},
+		{agentring.FirstFit, agentring.RandomSched, []int{6, 9, 10, 17, 23, 31}, 42, 36, 0x2e348a6e7842231f},
+		{agentring.FirstFit, agentring.Synchronous, []int{6, 9, 10, 17, 23, 31}, 42, 36, 0xacd4220087eb086b},
+		{agentring.FirstFit, agentring.Adversarial, []int{6, 9, 10, 17, 23, 31}, 42, 36, 0x7946a8e8b2e2cdbb},
+	}
+
+	for _, g := range goldens {
+		t.Run(g.alg.String()+"/"+schedName(g.sched), func(t *testing.T) {
+			rep, err := agentring.Run(g.alg, agentring.Config{
+				N: n, Homes: homes, Scheduler: g.sched, Seed: 7, TraceCapacity: 1 << 20,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(rep.Positions, g.positions) {
+				t.Errorf("positions = %v, want %v", rep.Positions, g.positions)
+			}
+			if rep.Steps != g.steps {
+				t.Errorf("steps = %d, want %d", rep.Steps, g.steps)
+			}
+			if rep.TotalMoves != g.moves {
+				t.Errorf("total moves = %d, want %d", rep.TotalMoves, g.moves)
+			}
+			h := fnv.New64a()
+			h.Write([]byte(rep.Trace))
+			if got := h.Sum64(); got != g.traceHash {
+				t.Errorf("trace hash = %#x, want %#x (event sequence drifted)", got, g.traceHash)
+			}
+		})
+	}
+}
+
+func schedName(s agentring.SchedulerKind) string {
+	switch s {
+	case agentring.RoundRobin:
+		return "roundrobin"
+	case agentring.RandomSched:
+		return "random"
+	case agentring.Synchronous:
+		return "synchronous"
+	case agentring.Adversarial:
+		return "adversarial"
+	default:
+		return "unknown"
+	}
+}

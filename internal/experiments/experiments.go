@@ -61,21 +61,22 @@ func (s Spec) Homes() ([]int, error) {
 	}
 }
 
-// Run executes the spec once and returns the measured row.
-func Run(spec Spec) (Row, error) {
-	homes, err := spec.Homes()
+// Config materializes the Spec's agentring configuration (homes
+// included), ready for Run or RunBatch.
+func (s Spec) Config() (agentring.Config, error) {
+	homes, err := s.Homes()
 	if err != nil {
-		return Row{}, err
+		return agentring.Config{}, err
 	}
-	rep, err := agentring.Run(spec.Algorithm, agentring.Config{
-		N:         spec.N,
+	return agentring.Config{
+		N:         s.N,
 		Homes:     homes,
-		Scheduler: spec.Scheduler,
-		Seed:      spec.Seed,
-	})
-	if err != nil {
-		return Row{}, fmt.Errorf("run %s n=%d k=%d: %w", spec.Algorithm, spec.N, spec.K, err)
-	}
+		Scheduler: s.Scheduler,
+		Seed:      s.Seed,
+	}, nil
+}
+
+func rowFrom(spec Spec, rep agentring.Report) Row {
 	return Row{
 		Spec:           spec,
 		SymmetryDegree: rep.SymmetryDegree,
@@ -86,20 +87,63 @@ func Run(spec Spec) (Row, error) {
 		PeakWords:      rep.PeakWords,
 		PeakBits:       rep.PeakBits,
 		Messages:       rep.MessagesSent,
-	}, nil
+	}
 }
 
-// Table1Sweep measures one algorithm across a grid of (n, k) pairs with
-// the synchronous scheduler (so Rounds is the paper's ideal time). This
-// regenerates the corresponding column of Table 1 empirically.
-func Table1Sweep(alg agentring.Algorithm, ns, ks []int, seed int64) ([]Row, error) {
-	var rows []Row
+// Run executes the spec once and returns the measured row.
+func Run(spec Spec) (Row, error) {
+	cfg, err := spec.Config()
+	if err != nil {
+		return Row{}, err
+	}
+	rep, err := agentring.Run(spec.Algorithm, cfg)
+	if err != nil {
+		return Row{}, fmt.Errorf("run %s n=%d k=%d: %w", spec.Algorithm, spec.N, spec.K, err)
+	}
+	return rowFrom(spec, rep), nil
+}
+
+// RunAll executes the specs across agentring.RunBatch's bounded worker
+// pool and returns their rows in input order. workers <= 0 selects the
+// batch default (GOMAXPROCS). The first failed spec is reported as the
+// error, after every spec has run.
+func RunAll(specs []Spec, workers int) ([]Row, error) {
+	jobs := make([]agentring.Job, len(specs))
+	for i, spec := range specs {
+		cfg, err := spec.Config()
+		if err != nil {
+			return nil, err
+		}
+		jobs[i] = agentring.Job{Algorithm: spec.Algorithm, Config: cfg}
+	}
+	results := agentring.RunBatch(jobs, agentring.BatchOptions{Workers: workers})
+	rows := make([]Row, len(specs))
+	var firstErr error
+	for i, res := range results {
+		if res.Err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("run %s n=%d k=%d: %w",
+					specs[i].Algorithm, specs[i].N, specs[i].K, res.Err)
+			}
+			continue
+		}
+		rows[i] = rowFrom(specs[i], res.Report)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return rows, nil
+}
+
+// Table1Specs enumerates the grid Table1Sweep measures.
+func Table1Specs(alg agentring.Algorithm, ns, ks []int, seed int64) []Spec {
+	var specs []Spec
 	for _, n := range ns {
 		for _, k := range ks {
 			if k > n/2 { // keep configurations scatterable
 				continue
 			}
-			row, err := Run(Spec{
+			specs = append(specs, Spec{
 				Algorithm: alg,
 				N:         n,
 				K:         k,
@@ -107,21 +151,24 @@ func Table1Sweep(alg agentring.Algorithm, ns, ks []int, seed int64) ([]Row, erro
 				Seed:      seed + int64(n*1000+k),
 				Scheduler: agentring.Synchronous,
 			})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, row)
 		}
 	}
-	return rows, nil
+	return specs
 }
 
-// DegreeSweep measures the relaxed algorithm across symmetry degrees
-// for a fixed (n, k), regenerating Table 1 column 4's l-dependence.
-func DegreeSweep(n, k int, degrees []int, seed int64) ([]Row, error) {
-	var rows []Row
-	for _, l := range degrees {
-		row, err := Run(Spec{
+// Table1Sweep measures one algorithm across a grid of (n, k) pairs with
+// the synchronous scheduler (so Rounds is the paper's ideal time). This
+// regenerates the corresponding column of Table 1 empirically. Runs
+// execute batched across all cores.
+func Table1Sweep(alg agentring.Algorithm, ns, ks []int, seed int64) ([]Row, error) {
+	return RunAll(Table1Specs(alg, ns, ks, seed), 0)
+}
+
+// DegreeSpecs enumerates the symmetry-degree sweep DegreeSweep measures.
+func DegreeSpecs(n, k int, degrees []int, seed int64) []Spec {
+	specs := make([]Spec, len(degrees))
+	for i, l := range degrees {
+		specs[i] = Spec{
 			Algorithm: agentring.Relaxed,
 			N:         n,
 			K:         k,
@@ -129,13 +176,16 @@ func DegreeSweep(n, k int, degrees []int, seed int64) ([]Row, error) {
 			Degree:    l,
 			Seed:      seed,
 			Scheduler: agentring.Synchronous,
-		})
-		if err != nil {
-			return nil, err
 		}
-		rows = append(rows, row)
 	}
-	return rows, nil
+	return specs
+}
+
+// DegreeSweep measures the relaxed algorithm across symmetry degrees
+// for a fixed (n, k), regenerating Table 1 column 4's l-dependence.
+// Runs execute batched across all cores.
+func DegreeSweep(n, k int, degrees []int, seed int64) ([]Row, error) {
+	return RunAll(DegreeSpecs(n, k, degrees, seed), 0)
 }
 
 // LowerBound runs the Fig 3 clustered configuration and returns the

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonRow is the stable serialization shape of a Row: enums rendered as
+// strings so downstream tooling (benchmark trackers, plotting scripts)
+// does not depend on Go constant values.
+type jsonRow struct {
+	Algorithm      string `json:"algorithm"`
+	N              int    `json:"n"`
+	K              int    `json:"k"`
+	Workload       string `json:"workload"`
+	Degree         int    `json:"degree,omitempty"`
+	Seed           int64  `json:"seed"`
+	SymmetryDegree int    `json:"symmetry_degree"`
+	Uniform        bool   `json:"uniform"`
+	TotalMoves     int    `json:"total_moves"`
+	MaxMoves       int    `json:"max_moves"`
+	Rounds         int    `json:"rounds"`
+	PeakWords      int    `json:"peak_words"`
+	PeakBits       int    `json:"peak_bits"`
+	Messages       int    `json:"messages"`
+}
+
+// WriteJSON renders rows as an indented JSON array, the machine-readable
+// counterpart of FormatRows for benchmark trend tracking.
+func WriteJSON(w io.Writer, rows []Row) error {
+	out := make([]jsonRow, len(rows))
+	for i, r := range rows {
+		out[i] = jsonRow{
+			Algorithm:      r.Algorithm.String(),
+			N:              r.N,
+			K:              r.K,
+			Workload:       string(r.Workload),
+			Degree:         r.Degree,
+			Seed:           r.Seed,
+			SymmetryDegree: r.SymmetryDegree,
+			Uniform:        r.Uniform,
+			TotalMoves:     r.TotalMoves,
+			MaxMoves:       r.MaxMoves,
+			Rounds:         r.Rounds,
+			PeakWords:      r.PeakWords,
+			PeakBits:       r.PeakBits,
+			Messages:       r.Messages,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -3,7 +3,8 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"sync"
+	"iter"
+	"slices"
 
 	"agentring/internal/memmeter"
 	"agentring/internal/ring"
@@ -19,8 +20,8 @@ var (
 )
 
 // errStopped is the sentinel panic raised inside blocked API calls when
-// the engine shuts down after quiescence; the agent wrapper recovers it
-// and treats the agent as cleanly retired while suspended.
+// the engine shuts down after quiescence; the agent coroutine wrapper
+// recovers it and treats the agent as cleanly retired while suspended.
 var errStopped = errors.New("sim: engine stopped")
 
 // Options configures an Engine.
@@ -62,29 +63,52 @@ type agentState struct {
 	meter   memmeter.Meter
 	program Program
 
-	api    *apiState
-	resume chan struct{}
-	yield  chan yieldEvent
-	err    error
+	api *apiState
+	// next resumes the agent's coroutine until its next yield; stop
+	// retires it. Both are created lazily at the first activation.
+	next    func() (yieldEvent, bool)
+	stop    func()
+	yieldFn func(yieldEvent) bool
+	err     error
 }
 
 // Engine drives one execution of a set of agent programs on a ring.
 // An Engine is single-use: construct, Run once, inspect the Result.
+//
+// The engine never rescans the topology: the set of enabled atomic
+// actions is maintained incrementally. occupied holds the nodes with a
+// non-empty incoming link queue (ascending), wakeable holds the
+// suspended agents with a non-empty mailbox (ascending), and staying
+// indexes the waiting/halted agents per node so co-location queries cost
+// O(co-located agents) instead of O(k). Each step rebuilds the choice
+// slice from these sets into a buffer reused across steps, so the
+// steady-state loop allocates nothing.
 type Engine struct {
 	ring     *ring.Ring
 	agents   []*agentState
-	queues   [][]int // queues[v] = agent ids in transit toward node v (FIFO)
 	sched    Scheduler
 	maxStep  int
 	trace    *Trace
 	observer Observer
 
+	// The per-node link FIFOs are intrusive singly-linked lists over
+	// agent ids: qhead/qtail index per node, qnext per agent. An agent
+	// occupies at most one queue at a time, so a single next-pointer
+	// array serves every queue and push/pop never allocate (the seed's
+	// queues[v] = queues[v][1:] dequeue kept popped prefixes reachable
+	// and re-grew the backing array on every lap of the ring).
+	qhead []int // per node: first agent in transit toward it, -1 if none
+	qtail []int // per node: last agent in transit toward it, -1 if none
+	qnext []int // per agent: successor in its queue, -1 at the tail
+
+	occupied []int   // nodes v with queues[v] non-empty, ascending
+	wakeable []int   // waiting agents with non-empty mailboxes, ascending
+	staying  [][]int // staying[v] = waiting/halted agent ids at node v
+	choices  []Choice
+
 	steps     int
 	sent      int
 	delivered int
-
-	shutdownCh chan struct{}
-	wg         sync.WaitGroup
 }
 
 // NewEngine builds an engine for k agents with the given distinct home
@@ -128,13 +152,21 @@ func NewEngine(r *ring.Ring, homes []ring.NodeID, programs []Program, opts Optio
 		maxStep = 1000 + 400*n*k
 	}
 	e := &Engine{
-		ring:       r,
-		queues:     make([][]int, n),
-		sched:      sched,
-		maxStep:    maxStep,
-		trace:      opts.Trace,
-		observer:   opts.Observer,
-		shutdownCh: make(chan struct{}),
+		ring:     r,
+		qhead:    make([]int, n),
+		qtail:    make([]int, n),
+		qnext:    make([]int, k),
+		staying:  make([][]int, n),
+		occupied: make([]int, 0, k),
+		wakeable: make([]int, 0, k),
+		choices:  make([]Choice, 0, 2*k),
+		sched:    sched,
+		maxStep:  maxStep,
+		trace:    opts.Trace,
+		observer: opts.Observer,
+	}
+	for v := 0; v < n; v++ {
+		e.qhead[v], e.qtail[v] = -1, -1
 	}
 	e.agents = make([]*agentState, k)
 	for i := range homes {
@@ -144,14 +176,12 @@ func NewEngine(r *ring.Ring, homes []ring.NodeID, programs []Program, opts Optio
 			node:    homes[i],
 			status:  StatusInTransit, // in the home node's incoming buffer
 			program: programs[i],
-			resume:  make(chan struct{}),
-			yield:   make(chan yieldEvent, 2),
 		}
 		a.api = &apiState{e: e, a: a}
 		e.agents[i] = a
 		// The initial configuration stores each agent in the incoming
 		// buffer of its home node, so it acts there before any visitor.
-		e.queues[homes[i]] = append(e.queues[homes[i]], i)
+		e.enqueue(homes[i], i)
 	}
 	return e, nil
 }
@@ -160,10 +190,6 @@ func NewEngine(r *ring.Ring, homes []ring.NodeID, programs []Program, opts Optio
 // the outcome. It is an error for any agent program to fail or for the
 // step limit to be reached.
 func (e *Engine) Run() (Result, error) {
-	for i := range e.agents {
-		e.wg.Add(1)
-		go e.runAgent(e.agents[i])
-	}
 	var runErr error
 	if e.observer != nil {
 		e.observer(e.snapshot())
@@ -204,36 +230,97 @@ func (e *Engine) Run() (Result, error) {
 	return res, runErr
 }
 
-// enabledChoices enumerates every enabled atomic action in a fixed,
-// deterministic order.
+// insertSorted adds v to the ascending slice s (v must not be present).
+func insertSorted(s []int, v int) []int {
+	i, _ := slices.BinarySearch(s, v)
+	return slices.Insert(s, i, v)
+}
+
+// removeSorted deletes v from the ascending slice s (v must be present).
+func removeSorted(s []int, v int) []int {
+	i, _ := slices.BinarySearch(s, v)
+	return slices.Delete(s, i, i+1)
+}
+
+// enqueue appends agent id to the FIFO toward dest, registering the node
+// as occupied if the queue was empty.
+func (e *Engine) enqueue(dest ring.NodeID, id int) {
+	if e.qhead[dest] == -1 {
+		e.occupied = insertSorted(e.occupied, int(dest))
+		e.qhead[dest] = id
+	} else {
+		e.qnext[e.qtail[dest]] = id
+	}
+	e.qtail[dest] = id
+	e.qnext[id] = -1
+}
+
+// dequeue pops the head of the FIFO toward v, deregistering the node
+// when its queue drains.
+func (e *Engine) dequeue(v ring.NodeID) int {
+	id := e.qhead[v]
+	e.qhead[v] = e.qnext[id]
+	if e.qhead[v] == -1 {
+		e.qtail[v] = -1
+		e.occupied = removeSorted(e.occupied, int(v))
+	}
+	return id
+}
+
+// queueSnapshot copies the FIFO toward v, head first.
+func (e *Engine) queueSnapshot(v int) []int {
+	var out []int
+	for id := e.qhead[v]; id != -1; id = e.qnext[id] {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (e *Engine) addStaying(a *agentState) {
+	e.staying[a.node] = append(e.staying[a.node], a.id)
+}
+
+func (e *Engine) removeStaying(a *agentState) {
+	s := e.staying[a.node]
+	for i, id := range s {
+		if id == a.id {
+			e.staying[a.node] = append(s[:i], s[i+1:]...)
+			return
+		}
+	}
+}
+
+// enabledChoices rebuilds the enabled-action list from the incremental
+// indexes in the same deterministic order the schedulers were specified
+// against: arrivals by destination node ascending, then wakes by agent
+// index ascending. The backing array is reused across steps.
 func (e *Engine) enabledChoices() []Choice {
-	var out []Choice
-	for v := 0; v < e.ring.Size(); v++ {
-		if len(e.queues[v]) > 0 {
-			out = append(out, Choice{Kind: ChoiceArrival, Agent: e.queues[v][0], Node: ring.NodeID(v)})
-		}
+	out := e.choices[:0]
+	for _, v := range e.occupied {
+		out = append(out, Choice{Kind: ChoiceArrival, Agent: e.qhead[v], Node: ring.NodeID(v)})
 	}
-	for _, a := range e.agents {
-		if a.status == StatusWaiting && len(a.mailbox) > 0 {
-			out = append(out, Choice{Kind: ChoiceWake, Agent: a.id, Node: a.node})
-		}
+	for _, id := range e.wakeable {
+		out = append(out, Choice{Kind: ChoiceWake, Agent: id, Node: e.agents[id].node})
 	}
+	e.choices = out
 	return out
 }
 
 // activate performs one atomic action for the chosen agent.
 func (e *Engine) activate(c Choice) error {
 	a := e.agents[c.Agent]
+	wasStaying := false
 	switch c.Kind {
 	case ChoiceArrival:
-		q := e.queues[c.Node]
-		if len(q) == 0 || q[0] != a.id {
+		if e.qhead[c.Node] != a.id {
 			return fmt.Errorf("%w: arrival choice desynchronized", ErrBadSetup)
 		}
-		e.queues[c.Node] = q[1:]
+		e.dequeue(c.Node)
 		a.node = c.Node
 		e.traceEvent(a, "arrive", "")
 	case ChoiceWake:
+		wasStaying = true
+		e.wakeable = removeSorted(e.wakeable, a.id)
 		e.traceEvent(a, "wake", "")
 	default:
 		return fmt.Errorf("%w: unknown choice kind %d", ErrBadSetup, c.Kind)
@@ -244,8 +331,10 @@ func (e *Engine) activate(c Choice) error {
 	a.api.inbox = a.mailbox
 	a.mailbox = nil
 
-	a.resume <- struct{}{}
-	ev := <-a.yield
+	ev, ok := e.resume(a)
+	if !ok {
+		return fmt.Errorf("%w: agent %d coroutine exhausted", ErrBadSetup, a.id)
+	}
 	// Unconsumed messages vanish at the end of the atomic action.
 	a.api.inbox = nil
 	switch ev.kind {
@@ -253,14 +342,23 @@ func (e *Engine) activate(c Choice) error {
 		dest := e.ring.Next(a.node)
 		a.moves++
 		a.status = StatusInTransit
-		e.queues[dest] = append(e.queues[dest], a.id)
+		if wasStaying {
+			e.removeStaying(a)
+		}
+		e.enqueue(dest, a.id)
 		e.traceEvent(a, "move", "")
 	case yieldAwait:
 		a.status = StatusWaiting
+		if !wasStaying {
+			e.addStaying(a)
+		}
 		e.traceEvent(a, "await", "")
 	case yieldDone:
 		a.status = StatusHalted
 		a.err = ev.err
+		if !wasStaying {
+			e.addStaying(a)
+		}
 		e.traceEvent(a, "halt", "")
 		if ev.err != nil {
 			return fmt.Errorf("agent %d failed: %w", a.id, ev.err)
@@ -271,39 +369,37 @@ func (e *Engine) activate(c Choice) error {
 	return nil
 }
 
-// runAgent is the per-agent goroutine wrapper.
-func (e *Engine) runAgent(a *agentState) {
-	defer e.wg.Done()
-	// Wait for the first activation (arrival at the home node).
-	select {
-	case <-a.resume:
-	case <-e.shutdownCh:
-		return
+// resume runs the agent's coroutine until its next yield. The coroutine
+// is created lazily on the first activation; iter.Pull's runtime-backed
+// goroutine switch makes the engine↔agent handoff a direct transfer of
+// control instead of two channel round-trips through the Go scheduler.
+func (e *Engine) resume(a *agentState) (yieldEvent, bool) {
+	if a.next == nil {
+		a.next, a.stop = iter.Pull(func(yield func(yieldEvent) bool) {
+			a.yieldFn = yield
+			defer func() {
+				if r := recover(); r != nil {
+					if err, ok := r.(error); ok && errors.Is(err, errStopped) {
+						// Clean retirement at engine shutdown; the agent stays
+						// in whatever suspended state it was in.
+						return
+					}
+					yield(yieldEvent{kind: yieldDone, err: fmt.Errorf("program panic: %v", r)})
+				}
+			}()
+			err := a.program.Run(a.api)
+			yield(yieldEvent{kind: yieldDone, err: err})
+		})
 	}
-	defer func() {
-		if r := recover(); r != nil {
-			if err, ok := r.(error); ok && errors.Is(err, errStopped) {
-				// Clean retirement at engine shutdown; the agent stays in
-				// whatever suspended state it was in.
-				return
-			}
-			a.yield <- yieldEvent{kind: yieldDone, err: fmt.Errorf("program panic: %v", r)}
-		}
-	}()
-	err := a.program.Run(a.api)
-	a.yield <- yieldEvent{kind: yieldDone, err: err}
+	return a.next()
 }
 
-// shutdown retires all remaining agent goroutines (those suspended in
-// AwaitMessages at quiescence) and waits for them to exit.
+// shutdown retires all agent coroutines (those parked in a yield at
+// quiescence unwind via the errStopped sentinel).
 func (e *Engine) shutdown() {
-	close(e.shutdownCh)
-	e.wg.Wait()
-	// Drain any final yield events emitted during teardown.
 	for _, a := range e.agents {
-		select {
-		case <-a.yield:
-		default:
+		if a.stop != nil {
+			a.stop()
 		}
 	}
 }
@@ -324,10 +420,7 @@ type apiState struct {
 var _ API = (*apiState)(nil)
 
 func (p *apiState) yieldAndWait(k yieldKind) {
-	p.a.yield <- yieldEvent{kind: k}
-	select {
-	case <-p.a.resume:
-	case <-p.e.shutdownCh:
+	if !p.a.yieldFn(yieldEvent{kind: k}) {
 		panic(errStopped)
 	}
 }
@@ -347,11 +440,8 @@ func (p *apiState) TokensHere() int { return p.e.ring.Tokens(p.a.node) }
 // AgentsHere implements API.
 func (p *apiState) AgentsHere() int {
 	count := 0
-	for _, other := range p.e.agents {
-		if other.id == p.a.id {
-			continue
-		}
-		if other.node == p.a.node && (other.status == StatusWaiting || other.status == StatusHalted) {
+	for _, id := range p.e.staying[p.a.node] {
+		if id != p.a.id {
 			count++
 		}
 	}
@@ -360,19 +450,24 @@ func (p *apiState) AgentsHere() int {
 
 // Broadcast implements API.
 func (p *apiState) Broadcast(msg Message) {
-	p.e.sent++
-	for _, other := range p.e.agents {
-		if other.id == p.a.id || other.node != p.a.node {
+	e := p.e
+	e.sent++
+	for _, id := range e.staying[p.a.node] {
+		if id == p.a.id {
 			continue
 		}
 		// Halted agents never change state again; messages to them are
 		// sent but ignored (the model permits sending, the recipient just
 		// never reacts).
+		other := e.agents[id]
 		if other.status == StatusWaiting {
+			if len(other.mailbox) == 0 {
+				e.wakeable = insertSorted(e.wakeable, id)
+			}
 			other.mailbox = append(other.mailbox, msg)
 		}
 	}
-	p.e.traceEvent(p.a, "broadcast", "")
+	e.traceEvent(p.a, "broadcast", "")
 }
 
 // Messages implements API.

@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"agentring/internal/ring"
+)
+
+// BenchmarkSteadyState measures the engine's raw stepping rate: k agents
+// walking far enough that the run is dominated by the steady-state
+// arrival loop (no messages, no wakes). It reports steps/op so the
+// derived steps/sec (steps/op divided by ns/op) and B/op track the
+// engine's per-action overhead across ring sizes.
+func BenchmarkSteadyState(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		const k = 100
+		walk := 2 * n / k // keep total work O(n) per run across sizes
+		b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
+			homes := make([]ring.NodeID, k)
+			for i := range homes {
+				homes[i] = ring.NodeID(i * (n / k))
+			}
+			var steps int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				programs := make([]Program, k)
+				for j := range programs {
+					programs[j] = walker(walk)
+				}
+				r := ring.MustNew(n)
+				e, err := NewEngine(r, homes, programs, Options{Scheduler: NewRoundRobin()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				res, err := e.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps = res.Steps
+			}
+			b.ReportMetric(float64(steps), "steps/op")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*steps), "ns/step")
+		})
+	}
+}

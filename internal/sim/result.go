@@ -116,11 +116,7 @@ func (e *Engine) result() Result {
 	if rc, ok := e.sched.(RoundCounter); ok {
 		res.Rounds = rc.Rounds()
 	}
-	for _, q := range e.queues {
-		if len(q) > 0 {
-			res.QueuesEmpty = false
-		}
-	}
+	res.QueuesEmpty = len(e.occupied) == 0
 	for i, a := range e.agents {
 		res.Agents[i] = AgentReport{
 			Home:      a.home,

@@ -123,6 +123,11 @@ func (s *Synchronous) Pick(_ int, choices []Choice) int {
 // Rounds implements RoundCounter.
 func (s *Synchronous) Rounds() int { return s.rounds }
 
+// DefaultAdversaryBound is the fairness bound an Adversarial scheduler
+// uses when the caller does not choose one: an enabled agent may be
+// passed over at most this many times in a row before it must run.
+const DefaultAdversaryBound = 8
+
 // Adversarial delays low-priority agents as long as its fairness bound
 // allows: it prefers the enabled agent with the highest index, but any
 // agent that has been passed over MaxSkip times in a row is scheduled

@@ -2,10 +2,11 @@
 // unidirectional ring with exactly the semantics of Section 2 of the
 // paper.
 //
-// Each agent runs as its own goroutine executing a Program against the
-// API; the engine activates exactly one agent at a time, so executions
-// are deterministic given a scheduler, yet the agent code reads like the
-// paper's sequential pseudocode. An activation is one atomic action:
+// Each agent runs as a coroutine (iter.Pull) executing a Program against
+// the API; the engine activates exactly one agent at a time via a direct
+// transfer of control, so executions are deterministic given a scheduler,
+// yet the agent code reads like the paper's sequential pseudocode. An
+// activation is one atomic action:
 //
 //  1. the agent arrives at a node (popped from the head of the incoming
 //     FIFO link queue) or is woken while staying at a node,

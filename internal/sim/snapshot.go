@@ -60,8 +60,8 @@ func (e *Engine) snapshot() Configuration {
 			cfg.Staying[a.node] = append(cfg.Staying[a.node], i)
 		}
 	}
-	for v := range e.queues {
-		cfg.InTransit[v] = append([]int(nil), e.queues[v]...)
+	for v := 0; v < n; v++ {
+		cfg.InTransit[v] = e.queueSnapshot(v)
 	}
 	return cfg
 }
