@@ -1,0 +1,215 @@
+// Command benchdiff is the CI benchmark regression guard. It has two
+// modes:
+//
+//	benchdiff -parse bench.txt > BENCH_ci.json
+//	    Parse `go test -bench` output ("-" reads stdin) into a stable
+//	    JSON shape: one entry per benchmark with all reported metrics
+//	    (ns/op, ns/step, B/op, ...), averaged across -count repetitions,
+//	    with the -GOMAXPROCS name suffix stripped so files from
+//	    different machines stay comparable.
+//
+//	benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json
+//	    Compare two parsed files on one metric (default ns/step) and
+//	    exit non-zero when any benchmark regressed by more than
+//	    -max-regress percent (default 25), or when a baseline benchmark
+//	    disappeared. Improvements and new benchmarks never fail.
+//
+// The committed BENCH_baseline.json is refreshed by running the same
+// two commands locally (see README) whenever a PR intentionally changes
+// engine performance.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+// Bench is one benchmark's averaged metrics.
+type Bench struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	var (
+		parseFile  = fs.String("parse", "", "parse `go test -bench` output from this file (- = stdin) and print JSON")
+		baseline   = fs.String("baseline", "", "baseline JSON file (compare mode)")
+		current    = fs.String("current", "", "current JSON file (compare mode)")
+		metric     = fs.String("metric", "ns/step", "metric to compare")
+		maxRegress = fs.Float64("max-regress", 25, "failure threshold in percent")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *parseFile != "":
+		return parseMode(*parseFile, out)
+	case *baseline != "" && *current != "":
+		return compareMode(*baseline, *current, *metric, *maxRegress, out)
+	default:
+		return fmt.Errorf("need either -parse FILE or -baseline FILE -current FILE")
+	}
+}
+
+func parseMode(path string, out io.Writer) error {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	benches, err := ParseBenchOutput(string(data))
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(benches)
+}
+
+// procSuffix matches the trailing -GOMAXPROCS tag Go appends to
+// benchmark names.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// ParseBenchOutput extracts benchmark result lines from `go test
+// -bench` output. Repeated runs of the same benchmark (-count) are
+// averaged per metric.
+func ParseBenchOutput(text string) ([]Bench, error) {
+	sums := make(map[string]map[string][]float64)
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(fields[0], "")
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue
+		}
+		if sums[name] == nil {
+			sums[name] = make(map[string][]float64)
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in line %q", fields[i], line)
+			}
+			unit := fields[i+1]
+			sums[name][unit] = append(sums[name][unit], v)
+		}
+	}
+	if len(sums) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	names := make([]string, 0, len(sums))
+	for name := range sums {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	benches := make([]Bench, 0, len(names))
+	for _, name := range names {
+		metrics := make(map[string]float64, len(sums[name]))
+		for unit, vs := range sums[name] {
+			var total float64
+			for _, v := range vs {
+				total += v
+			}
+			metrics[unit] = total / float64(len(vs))
+		}
+		benches = append(benches, Bench{Name: name, Metrics: metrics})
+	}
+	return benches, nil
+}
+
+func loadBenches(path string) (map[string]Bench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var benches []Bench
+	if err := json.Unmarshal(data, &benches); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	out := make(map[string]Bench, len(benches))
+	for _, b := range benches {
+		out[b.Name] = b
+	}
+	return out, nil
+}
+
+func compareMode(basePath, curPath, metric string, maxRegress float64, out io.Writer) error {
+	base, err := loadBenches(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := loadBenches(curPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	fmt.Fprintf(out, "%-50s %12s %12s %8s\n", "benchmark", "base "+metric, "cur "+metric, "delta")
+	for _, name := range names {
+		b := base[name]
+		bv, ok := b.Metrics[metric]
+		if !ok {
+			// The baseline does not measure this metric for this
+			// benchmark; nothing to guard.
+			continue
+		}
+		c, ok := cur[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from current run", name))
+			continue
+		}
+		cv, ok := c.Metrics[metric]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: current run lacks metric %s", name, metric))
+			continue
+		}
+		delta := 0.0
+		switch {
+		case bv != 0:
+			delta = (cv - bv) / bv * 100
+		case cv > 0:
+			// Any growth from a zero baseline (e.g. allocs/op on an
+			// allocation-free loop) is an unbounded regression.
+			delta = math.Inf(1)
+		}
+		verdict := ""
+		if delta > maxRegress {
+			verdict = "  REGRESSION"
+			failures = append(failures,
+				fmt.Sprintf("%s: %s %.2f -> %.2f (%+.1f%% > %.1f%%)", name, metric, bv, cv, delta, maxRegress))
+		}
+		fmt.Fprintf(out, "%-50s %12.2f %12.2f %+7.1f%%%s\n", name, bv, cv, delta, verdict)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	return nil
+}

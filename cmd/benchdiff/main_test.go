@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: agentring/internal/sim
+BenchmarkSteadyState/n=1000/k=100-8         	     100	    912345 ns/op	       456.2 ns/step	      2000 steps/op	       0 B/op	       0 allocs/op
+BenchmarkSteadyState/n=10000/k=100-8        	      10	   9123450 ns/op	       450.0 ns/step	     20200 steps/op	       0 B/op	       0 allocs/op
+BenchmarkSteadyState/n=1000/k=100-8         	     100	    912345 ns/op	       460.2 ns/step	      2000 steps/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	benches, err := ParseBenchOutput(sampleOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 2 {
+		t.Fatalf("parsed %d benches, want 2: %+v", len(benches), benches)
+	}
+	b := benches[0]
+	if b.Name != "BenchmarkSteadyState/n=1000/k=100" {
+		t.Fatalf("name = %q (procs suffix not stripped?)", b.Name)
+	}
+	// Two -count repetitions averaged: (456.2+460.2)/2.
+	if got := b.Metrics["ns/step"]; got < 458.1 || got > 458.3 {
+		t.Fatalf("ns/step = %v, want ~458.2", got)
+	}
+	if _, ok := b.Metrics["ns/op"]; !ok {
+		t.Fatal("ns/op metric missing")
+	}
+}
+
+func writeJSONFile(t *testing.T, dir, name string, benches []Bench) string {
+	t.Helper()
+	data, err := json.Marshal(benches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSONFile(t, dir, "base.json", []Bench{
+		{Name: "B/a", Metrics: map[string]float64{"ns/step": 100}},
+		{Name: "B/b", Metrics: map[string]float64{"ns/step": 100}},
+	})
+	cur := writeJSONFile(t, dir, "cur.json", []Bench{
+		{Name: "B/a", Metrics: map[string]float64{"ns/step": 120}},
+		{Name: "B/b", Metrics: map[string]float64{"ns/step": 60}},
+	})
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err != nil {
+		t.Fatalf("20%% regression under the 25%% default must pass: %v\n%s", err, out.String())
+	}
+}
+
+func TestCompareFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSONFile(t, dir, "base.json", []Bench{
+		{Name: "B/a", Metrics: map[string]float64{"ns/step": 100}},
+	})
+	cur := writeJSONFile(t, dir, "cur.json", []Bench{
+		{Name: "B/a", Metrics: map[string]float64{"ns/step": 130}},
+	})
+	var out bytes.Buffer
+	err := run([]string{"-baseline", base, "-current", cur}, &out)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("err = %v, want a regression failure", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("table lacks REGRESSION marker:\n%s", out.String())
+	}
+}
+
+func TestCompareFailsOnGrowthFromZeroBaseline(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSONFile(t, dir, "base.json", []Bench{
+		{Name: "B/a", Metrics: map[string]float64{"allocs/op": 0}},
+	})
+	cur := writeJSONFile(t, dir, "cur.json", []Bench{
+		{Name: "B/a", Metrics: map[string]float64{"allocs/op": 1402}},
+	})
+	var out bytes.Buffer
+	err := run([]string{"-baseline", base, "-current", cur, "-metric", "allocs/op"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("growth from a zero baseline must fail: err = %v\n%s", err, out.String())
+	}
+}
+
+func TestCompareFailsOnMissingBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSONFile(t, dir, "base.json", []Bench{
+		{Name: "B/gone", Metrics: map[string]float64{"ns/step": 100}},
+	})
+	cur := writeJSONFile(t, dir, "cur.json", []Bench{
+		{Name: "B/new", Metrics: map[string]float64{"ns/step": 100}},
+	})
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &out); err == nil {
+		t.Fatal("vanished baseline benchmark must fail the comparison")
+	}
+}
+
+func TestParseModeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(raw, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-parse", raw}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var benches []Bench
+	if err := json.Unmarshal(out.Bytes(), &benches); err != nil {
+		t.Fatalf("parse output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(benches) != 2 {
+		t.Fatalf("round-trip lost benches: %+v", benches)
+	}
+}
+
+func TestParseModeNoBenches(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(raw, []byte("PASS\nok\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-parse", raw}, &out); err == nil {
+		t.Fatal("empty bench output must error")
+	}
+}
+
+func TestNoModeFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("missing mode flags must error")
+	}
+}

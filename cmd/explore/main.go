@@ -1,0 +1,181 @@
+// Command explore model-checks an algorithm over the asynchronous
+// schedule space of a small ring: it enumerates every interleaving of
+// atomic actions (up to commuting reorderings and converged states)
+// and reports either full coverage or the first schedule that defeats
+// uniform deployment. This turns the paper's universally quantified
+// claims into mechanically checked facts on small instances — and
+// exhibits the Theorem 5 impossibility as a concrete failing schedule
+// for the naive estimate-then-halt strategy.
+//
+// Usage:
+//
+//	explore -n 6 -k 3                       # clustered homes, native algorithm
+//	explore -n 8 -homes 0,1,2,3,4 -alg naive # Theorem 5 counterexample
+//	explore -n 5 -all -alg logspace          # every placement of the 5-ring
+//	explore -n 6 -k 2 -json                  # machine-readable report
+//
+// The process exits non-zero when any exploration finds a
+// counterexample, so CI scripting can rely on the exit code.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"agentring"
+	"agentring/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "explore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
+	var (
+		n        = fs.Int("n", 6, "ring size")
+		k        = fs.Int("k", 2, "agent count (clustered from node 0 unless -homes is given)")
+		algName  = fs.String("alg", "native", "algorithm: native | native-n | logspace | relaxed | naive | firstfit")
+		homesCSV = fs.String("homes", "", "comma-separated home nodes (overrides -k)")
+		all      = fs.Bool("all", false, "explore every initial configuration of the n-ring (up to rotation; ignores -k and -homes)")
+		depth    = fs.Int("depth", 0, "schedule depth bound (0 = default)")
+		states   = fs.Int("states", 0, "distinct-state bound (0 = default)")
+		workers  = fs.Int("workers", 0, "parallel subtree workers (<=1 = sequential)")
+		moves    = fs.Int("moves", 0, "total-move bound; exceeding it is a counterexample (0 = off)")
+		jsonFlag = fs.Bool("json", false, "emit the report(s) as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	alg, err := parseAlg(*algName)
+	if err != nil {
+		return err
+	}
+	opts := agentring.ExploreOptions{
+		MaxDepth:      *depth,
+		MaxStates:     *states,
+		Workers:       *workers,
+		MaxTotalMoves: *moves,
+	}
+
+	if *all {
+		rows, exploreErr := experiments.ExploreAll(alg, *n, opts)
+		if *jsonFlag {
+			if err := writeJSON(out, rows); err != nil {
+				return err
+			}
+		} else {
+			fmt.Fprint(out, experiments.FormatExploreRows(rows))
+		}
+		return exploreErr
+	}
+
+	homes, err := parseHomes(*homesCSV, *n, *k)
+	if err != nil {
+		return err
+	}
+	rep, err := agentring.Explore(alg, agentring.Config{N: *n, Homes: homes}, opts)
+	if err != nil {
+		return err
+	}
+	if *jsonFlag {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		printReport(out, homes, rep)
+	}
+	if rep.Counterexample != nil {
+		return fmt.Errorf("counterexample found: %s", rep.Counterexample.Reason)
+	}
+	return nil
+}
+
+func parseAlg(name string) (agentring.Algorithm, error) {
+	switch name {
+	case "native":
+		return agentring.Native, nil
+	case "native-n":
+		return agentring.NativeKnowN, nil
+	case "logspace":
+		return agentring.LogSpace, nil
+	case "relaxed":
+		return agentring.Relaxed, nil
+	case "naive":
+		return agentring.NaiveHalting, nil
+	case "firstfit":
+		return agentring.FirstFit, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func parseHomes(csv string, n, k int) ([]int, error) {
+	if csv == "" {
+		if k < 1 || k > n {
+			return nil, fmt.Errorf("need 1 <= k <= n, got k=%d n=%d", k, n)
+		}
+		homes := make([]int, k)
+		for i := range homes {
+			homes[i] = i
+		}
+		return homes, nil
+	}
+	parts := strings.Split(csv, ",")
+	homes := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad home %q: %v", p, err)
+		}
+		homes = append(homes, v)
+	}
+	return homes, nil
+}
+
+func printReport(out io.Writer, homes []int, rep agentring.ExploreReport) {
+	cover := "full schedule space covered"
+	switch {
+	case rep.Counterexample != nil:
+		cover = "stopped at first counterexample"
+	case !rep.Complete:
+		cover = fmt.Sprintf("bounded search (%d branches truncated)", rep.Truncated)
+	}
+	fmt.Fprintf(out, "%s on n=%d homes=%v: %s\n", rep.Algorithm, rep.N, homes, cover)
+	fmt.Fprintf(out, "  %d states (%d pruned, %d sleep-set skips), %d replays totalling %d steps\n",
+		rep.States, rep.Pruned, rep.SleepSkips, rep.Replays, rep.StepsReplayed)
+	fmt.Fprintf(out, "  %d distinct terminal configuration(s), deepest schedule %d decisions\n",
+		rep.DistinctTerminals, rep.Deepest)
+	if rep.Counterexample != nil {
+		fmt.Fprint(out, rep.Counterexample.Trace)
+	} else {
+		fmt.Fprintln(out, "  no counterexample: every explored schedule deploys uniformly")
+	}
+}
+
+// writeJSON renders exploration rows with stable field names.
+func writeJSON(out io.Writer, rows []experiments.ExploreRow) error {
+	type jsonRow struct {
+		Algorithm string                  `json:"algorithm"`
+		N         int                     `json:"n"`
+		Homes     []int                   `json:"homes"`
+		Report    agentring.ExploreReport `json:"report"`
+	}
+	payload := make([]jsonRow, len(rows))
+	for i, r := range rows {
+		payload[i] = jsonRow{Algorithm: r.Algorithm.String(), N: r.N, Homes: r.Homes, Report: r.Report}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(payload)
+}

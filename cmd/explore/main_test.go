@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestExploreClean(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "6", "-k", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "full schedule space covered") {
+		t.Errorf("missing coverage line:\n%s", s)
+	}
+	if !strings.Contains(s, "no counterexample") {
+		t.Errorf("missing verdict:\n%s", s)
+	}
+}
+
+func TestExploreNaiveCounterexampleExitsNonZero(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "8", "-homes", "0,1,2,3,4", "-alg", "naive"}, &out)
+	if err == nil {
+		t.Fatal("counterexample run must return an error for the non-zero exit")
+	}
+	if !strings.Contains(err.Error(), "counterexample") {
+		t.Fatalf("error = %v", err)
+	}
+	if !strings.Contains(out.String(), "not uniform") {
+		t.Errorf("missing counterexample trace:\n%s", out.String())
+	}
+}
+
+func TestExploreJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "5", "-k", "2", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if rep["complete"] != true {
+		t.Errorf("complete = %v", rep["complete"])
+	}
+	if _, ok := rep["states"].(float64); !ok {
+		t.Errorf("states missing: %v", rep)
+	}
+}
+
+func TestExploreAllPlacements(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "4", "-all", "-alg", "logspace"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "verdict") || !strings.Contains(s, "ok") {
+		t.Errorf("missing table rows:\n%s", s)
+	}
+	if strings.Contains(s, "CEX") {
+		t.Errorf("unexpected counterexample:\n%s", s)
+	}
+}
+
+func TestExploreBadArgs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-alg", "nope"}, &out); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run([]string{"-n", "3", "-k", "9"}, &out); err == nil {
+		t.Error("k > n accepted")
+	}
+	if err := run([]string{"-homes", "0,x"}, &out); err == nil {
+		t.Error("malformed homes accepted")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"agentring"
 	"agentring/internal/experiments"
@@ -52,7 +53,9 @@ func run(args []string, out io.Writer) error {
 	}
 
 	var jsonRows []experiments.Row
+	var failed []string
 	emit := func(header string, rows []experiments.Row, chartTitle string) {
+		failed = append(failed, nonUniform(rows)...)
 		if *jsonFlag {
 			jsonRows = append(jsonRows, rows...)
 			return
@@ -93,9 +96,29 @@ func run(args []string, out io.Writer) error {
 			"total moves vs symmetry degree (the 1/l adaptivity):")
 	}
 	if *jsonFlag {
-		return experiments.WriteJSON(out, jsonRows)
+		if err := experiments.WriteJSON(out, jsonRows); err != nil {
+			return err
+		}
+	}
+	// A non-uniform row means a configuration failed deployment: exit
+	// non-zero (after emitting every row) so CI scripting can gate on
+	// the sweep without parsing its output.
+	if len(failed) > 0 {
+		return fmt.Errorf("%d configuration(s) failed uniform deployment: %s",
+			len(failed), strings.Join(failed, "; "))
 	}
 	return nil
+}
+
+// nonUniform describes every row that failed uniform deployment.
+func nonUniform(rows []experiments.Row) []string {
+	var out []string
+	for _, r := range rows {
+		if !r.Uniform {
+			out = append(out, fmt.Sprintf("%s n=%d k=%d %s", r.Algorithm, r.N, r.K, r.Workload))
+		}
+	}
+	return out
 }
 
 func divisorsUpTo(k int) []int {

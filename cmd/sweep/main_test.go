@@ -5,6 +5,9 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"agentring"
+	"agentring/internal/experiments"
 )
 
 func TestSweepNative(t *testing.T) {
@@ -66,5 +69,24 @@ func TestSweepBadFlag(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-alg"}, &out); err == nil {
 		t.Error("dangling flag must error")
+	}
+}
+
+func TestSweepExitCodes(t *testing.T) {
+	// All shipped sweeps are expected uniform, so a healthy run exits
+	// cleanly...
+	var out bytes.Buffer
+	if err := run([]string{"-alg", "native"}, &out); err != nil {
+		t.Fatalf("uniform sweep must pass: %v", err)
+	}
+	// ...and the failure detector that feeds the non-zero exit flags
+	// exactly the non-uniform rows.
+	rows := []experiments.Row{
+		{Spec: experiments.Spec{Algorithm: agentring.Native, N: 8, K: 2, Workload: experiments.WorkloadRandom}, Uniform: true},
+		{Spec: experiments.Spec{Algorithm: agentring.LogSpace, N: 6, K: 3, Workload: experiments.WorkloadClustered}, Uniform: false},
+	}
+	failed := nonUniform(rows)
+	if len(failed) != 1 || !strings.Contains(failed[0], "logspace n=6 k=3") {
+		t.Fatalf("nonUniform = %v", failed)
 	}
 }

@@ -1,0 +1,150 @@
+package agentring
+
+import (
+	"fmt"
+
+	"agentring/internal/explore"
+	"agentring/internal/ring"
+	"agentring/internal/sim"
+)
+
+// ExploreOptions bounds a schedule-space exploration.
+type ExploreOptions struct {
+	// MaxDepth bounds the length of an explored schedule (decisions per
+	// execution); zero selects a generous default. Branches cut at the
+	// bound are reported in ExploreReport.Truncated.
+	MaxDepth int
+	// MaxStates bounds the number of distinct global states expanded;
+	// zero selects a generous default.
+	MaxStates int
+	// Workers parallelizes the search across the root's subtrees on a
+	// bounded worker pool (the RunBatch pattern). Values <= 1 run
+	// sequentially and make the first counterexample deterministic.
+	Workers int
+	// MaxSteps is the per-replay engine step bound (0 = automatic); a
+	// schedule that exceeds it is reported as a counterexample.
+	MaxSteps int
+	// MaxTotalMoves, if positive, turns any reached state whose total
+	// move count exceeds it into a counterexample — a mechanical check
+	// of the paper's move-complexity bounds along every schedule.
+	MaxTotalMoves int
+}
+
+// ExploreCounterexample is a concrete schedule defeating uniform
+// deployment (or a bound), found by Explore.
+type ExploreCounterexample struct {
+	// Prefix is the sequence of decision indices reproducing the
+	// failure: replaying them from the initial configuration (the
+	// engine's enabled-choice order is deterministic) reaches the
+	// failing state.
+	Prefix []int `json:"prefix"`
+	// Reason says what failed.
+	Reason string `json:"reason"`
+	// Positions are the agents' final nodes in the failing state.
+	Positions []int `json:"positions"`
+	// Trace is the human-readable schedule listing.
+	Trace string `json:"trace"`
+}
+
+// ExploreReport is the outcome of one schedule-space exploration.
+type ExploreReport struct {
+	// Algorithm and configuration echo.
+	Algorithm string `json:"algorithm"`
+	N         int    `json:"n"`
+	K         int    `json:"k"`
+
+	// States counts distinct global states expanded; Pruned counts
+	// replays that converged onto an already-explored state; SleepSkips
+	// counts interleavings suppressed by the partial-order reduction.
+	States     int `json:"states"`
+	Pruned     int `json:"pruned"`
+	SleepSkips int `json:"sleep_skips"`
+	// Replays counts engine replays and StepsReplayed their total
+	// atomic actions — the search's real cost.
+	Replays       int   `json:"replays"`
+	StepsReplayed int64 `json:"steps_replayed"`
+	// Terminals counts quiescent leaves reached; DistinctTerminals the
+	// distinct terminal configurations among them.
+	Terminals         int `json:"terminals"`
+	DistinctTerminals int `json:"distinct_terminals"`
+	// Truncated counts branches cut by MaxDepth or MaxStates; Deepest
+	// is the longest schedule expanded.
+	Truncated int `json:"truncated"`
+	Deepest   int `json:"deepest"`
+	// Complete reports that the whole schedule space was covered within
+	// the bounds: every interleaving from the initial configuration is
+	// accounted for, up to commuting reorderings and converged states.
+	Complete bool `json:"complete"`
+	// Counterexample is the first failing schedule found, or nil.
+	Counterexample *ExploreCounterexample `json:"counterexample,omitempty"`
+}
+
+// Explore model-checks the algorithm's behaviour over the asynchronous
+// schedule space of one initial configuration: it enumerates all
+// interleavings of atomic actions (up to commuting reorderings and
+// converged states) within the given bounds, and reports the first
+// schedule ending in a non-uniform terminal configuration, agent
+// failure, or exceeded bound. A nil Counterexample with Complete true
+// is a mechanically checked proof that the algorithm deploys uniformly
+// under every asynchronous schedule from this configuration.
+//
+// Config's Scheduler, Seed and TraceCapacity are ignored: the explorer
+// drives scheduling itself.
+func Explore(alg Algorithm, cfg Config, opts ExploreOptions) (ExploreReport, error) {
+	if cfg.N < 1 {
+		return ExploreReport{}, fmt.Errorf("%w: ring size %d", ErrConfig, cfg.N)
+	}
+	k := len(cfg.Homes)
+	if k < 1 {
+		return ExploreReport{}, fmt.Errorf("%w: no agents", ErrConfig)
+	}
+	homes := make([]ring.NodeID, k)
+	for i, h := range cfg.Homes {
+		homes[i] = ring.NodeID(h)
+	}
+	// Validate eagerly (duplicate homes, unknown algorithm) so setup
+	// mistakes surface as ErrConfig before the search starts.
+	if _, err := buildPrograms(alg, cfg.N, k); err != nil {
+		return ExploreReport{}, err
+	}
+	rep, err := explore.Explore(explore.Setup{
+		N:     cfg.N,
+		Homes: homes,
+		Programs: func() ([]sim.Program, error) {
+			return buildPrograms(alg, cfg.N, k)
+		},
+	}, explore.Options{
+		MaxDepth:      opts.MaxDepth,
+		MaxStates:     opts.MaxStates,
+		Workers:       opts.Workers,
+		MaxSteps:      opts.MaxSteps,
+		MaxTotalMoves: opts.MaxTotalMoves,
+	})
+	if err != nil {
+		return ExploreReport{}, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	out := ExploreReport{
+		Algorithm:         alg.String(),
+		N:                 cfg.N,
+		K:                 k,
+		States:            rep.States,
+		Pruned:            rep.Pruned,
+		SleepSkips:        rep.SleepSkips,
+		Replays:           rep.Replays,
+		StepsReplayed:     rep.StepsReplayed,
+		Terminals:         rep.Terminals,
+		DistinctTerminals: rep.DistinctTerminals,
+		Truncated:         rep.Truncated,
+		Deepest:           rep.Deepest,
+		Complete:          rep.Complete,
+	}
+	if cex := rep.Counterexample; cex != nil {
+		out.Counterexample = &ExploreCounterexample{
+			Prefix:    cex.Prefix,
+			Reason:    cex.Reason,
+			Positions: toInts(cex.Positions),
+			Trace:     cex.String(),
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,91 @@
+package agentring_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"agentring"
+)
+
+func TestExploreNativeComplete(t *testing.T) {
+	rep, err := agentring.Explore(agentring.Native, agentring.Config{
+		N: 6, Homes: []int{0, 1, 3},
+	}, agentring.ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Fatalf("exploration incomplete: %+v", rep)
+	}
+	if rep.Counterexample != nil {
+		t.Fatalf("unexpected counterexample: %s", rep.Counterexample.Trace)
+	}
+	if rep.States == 0 || rep.DistinctTerminals == 0 {
+		t.Fatalf("empty report: %+v", rep)
+	}
+	if rep.Algorithm != agentring.Native.String() || rep.N != 6 || rep.K != 3 {
+		t.Fatalf("config echo wrong: %+v", rep)
+	}
+}
+
+func TestExploreTheorem5Counterexample(t *testing.T) {
+	// The Theorem 5 pumping construction, via the public helper: one
+	// agent on a 1-ring, pumped to five copies plus three empty ones.
+	n, homes, err := agentring.PumpedHomes(1, []int{0}, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := agentring.Explore(agentring.NaiveHalting, agentring.Config{N: n, Homes: homes},
+		agentring.ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cex := rep.Counterexample
+	if cex == nil {
+		t.Fatal("no counterexample on the pumped ring")
+	}
+	if !strings.Contains(cex.Reason, "not uniform") {
+		t.Fatalf("reason = %q", cex.Reason)
+	}
+	if len(cex.Prefix) == 0 || cex.Trace == "" || len(cex.Positions) != len(homes) {
+		t.Fatalf("counterexample not replayable: %+v", cex)
+	}
+	if agentring.IsUniform(n, cex.Positions) {
+		t.Fatalf("counterexample positions %v are uniform", cex.Positions)
+	}
+}
+
+func TestExploreWorkers(t *testing.T) {
+	seq, err := agentring.Explore(agentring.LogSpace, agentring.Config{N: 5, Homes: []int{0, 2}},
+		agentring.ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := agentring.Explore(agentring.LogSpace, agentring.Config{N: 5, Homes: []int{0, 2}},
+		agentring.ExploreOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.States != par.States || seq.DistinctTerminals != par.DistinctTerminals {
+		t.Fatalf("worker pool changed coverage: %+v vs %+v", seq, par)
+	}
+}
+
+func TestExploreConfigErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		alg  agentring.Algorithm
+		cfg  agentring.Config
+	}{
+		{"zero ring", agentring.Native, agentring.Config{N: 0, Homes: []int{0}}},
+		{"no agents", agentring.Native, agentring.Config{N: 4}},
+		{"duplicate homes", agentring.Native, agentring.Config{N: 4, Homes: []int{1, 1}}},
+		{"unknown algorithm", agentring.Algorithm(99), agentring.Config{N: 4, Homes: []int{0}}},
+	}
+	for _, tc := range cases {
+		if _, err := agentring.Explore(tc.alg, tc.cfg, agentring.ExploreOptions{}); !errors.Is(err, agentring.ErrConfig) {
+			t.Errorf("%s: err = %v, want ErrConfig", tc.name, err)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"agentring"
+)
+
+// ExploreRow is one measured schedule-space exploration.
+type ExploreRow struct {
+	Algorithm agentring.Algorithm
+	N         int
+	Homes     []int
+	Report    agentring.ExploreReport
+}
+
+// AllPlacements enumerates every initial configuration of an n-node
+// ring — each non-empty set of distinct home nodes — deduplicated up to
+// rotation: the ring is anonymous, so rotated placements generate
+// isomorphic schedule spaces and exploring one representative per orbit
+// covers them all.
+func AllPlacements(n int) [][]int {
+	var out [][]int
+	for mask := 1; mask < 1<<n; mask++ {
+		canonical := true
+		for r := 1; r < n; r++ {
+			rot := (mask>>r | mask<<(n-r)) & (1<<n - 1)
+			if rot < mask {
+				canonical = false
+				break
+			}
+		}
+		if !canonical {
+			continue
+		}
+		var homes []int
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				homes = append(homes, v)
+			}
+		}
+		out = append(out, homes)
+	}
+	return out
+}
+
+// ExploreAll model-checks one algorithm over the complete schedule
+// space of every initial configuration (up to rotation) of an n-node
+// ring. It returns one row per placement; the first counterexample or
+// setup error aborts the sweep, because a single failing schedule
+// already refutes the universally quantified claim under test.
+func ExploreAll(alg agentring.Algorithm, n int, opts agentring.ExploreOptions) ([]ExploreRow, error) {
+	placements := AllPlacements(n)
+	rows := make([]ExploreRow, 0, len(placements))
+	for _, homes := range placements {
+		rep, err := agentring.Explore(alg, agentring.Config{N: n, Homes: homes}, opts)
+		if err != nil {
+			return rows, fmt.Errorf("explore %s n=%d homes=%v: %w", alg, n, homes, err)
+		}
+		rows = append(rows, ExploreRow{Algorithm: alg, N: n, Homes: homes, Report: rep})
+		if rep.Counterexample != nil {
+			return rows, fmt.Errorf("explore %s n=%d homes=%v: counterexample: %s",
+				alg, n, homes, rep.Counterexample.Reason)
+		}
+	}
+	return rows, nil
+}
+
+// FormatExploreRows renders exploration rows as an aligned text table.
+func FormatExploreRows(rows []ExploreRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %4s %-14s %8s %8s %8s %9s %5s %8s %8s\n",
+		"algorithm", "n", "homes", "states", "pruned", "replays", "terminals", "cover", "deepest", "verdict")
+	for _, r := range rows {
+		cover := "full"
+		if !r.Report.Complete {
+			cover = "partial"
+		}
+		verdict := "ok"
+		if r.Report.Counterexample != nil {
+			verdict = "CEX"
+		}
+		fmt.Fprintf(&b, "%-12s %4d %-14s %8d %8d %8d %9d %5s %8d %8s\n",
+			r.Algorithm, r.N, fmt.Sprint(r.Homes), r.Report.States, r.Report.Pruned,
+			r.Report.Replays, r.Report.DistinctTerminals, cover, r.Report.Deepest, verdict)
+	}
+	return b.String()
+}

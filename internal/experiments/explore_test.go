@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"agentring"
+)
+
+func TestAllPlacementsRotationDedup(t *testing.T) {
+	// Binary necklaces of length 4, excluding the empty one: 0001,
+	// 0011, 0101, 0111, 1111.
+	got := AllPlacements(4)
+	if len(got) != 5 {
+		t.Fatalf("AllPlacements(4) = %v, want 5 placements", got)
+	}
+	for _, homes := range got {
+		if len(homes) == 0 {
+			t.Fatal("empty placement")
+		}
+	}
+	// n=1 has exactly the single-agent placement.
+	if got := AllPlacements(1); len(got) != 1 || len(got[0]) != 1 {
+		t.Fatalf("AllPlacements(1) = %v", got)
+	}
+}
+
+func TestExploreAllNativeSmallRing(t *testing.T) {
+	rows, err := ExploreAll(agentring.Native, 5, agentring.ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(AllPlacements(5)) {
+		t.Fatalf("%d rows for %d placements", len(rows), len(AllPlacements(5)))
+	}
+	for _, r := range rows {
+		if !r.Report.Complete {
+			t.Errorf("homes=%v: incomplete exploration", r.Homes)
+		}
+		if r.Report.Counterexample != nil {
+			t.Errorf("homes=%v: counterexample: %s", r.Homes, r.Report.Counterexample.Reason)
+		}
+	}
+	table := FormatExploreRows(rows)
+	if !strings.Contains(table, "native(k)") || !strings.Contains(table, "full") {
+		t.Errorf("table misses expected columns:\n%s", table)
+	}
+}
+
+func TestExploreAllSurfacesCounterexample(t *testing.T) {
+	// The pumped 8-ring contains the clustered placement {0..4} whose
+	// naive-halting run is the Theorem 5 violation, so the sweep must
+	// abort with a counterexample error.
+	_, err := ExploreAll(agentring.NaiveHalting, 8, agentring.ExploreOptions{})
+	if err == nil || !strings.Contains(err.Error(), "counterexample") {
+		t.Fatalf("err = %v, want a counterexample abort", err)
+	}
+}

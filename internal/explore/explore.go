@@ -1,0 +1,486 @@
+// Package explore is a bounded model checker for the simulation
+// engine's schedule space. The paper's claims are universally
+// quantified over asynchronous schedules — uniform deployment must hold
+// under *every* fair interleaving, and the Theorem 5 impossibility says
+// some schedule defeats any estimate-then-halt strategy — so sampling a
+// handful of schedulers is not evidence. This package enumerates the
+// schedule tree itself.
+//
+// A node of the tree is a prefix of scheduling decisions (indices into
+// the engine's deterministic enabled-choice order). Expanding a node
+// replays the prefix from the initial configuration on a fresh engine
+// under a sim.Controlled scheduler, which stops exactly at the next
+// decision point and reports the enabled set there. The search is a DFS
+// over prefixes with two reductions:
+//
+//   - canonical-state caching: every replayed prefix is hashed into a
+//     canonical state key (sim.Configuration.Key over the visible
+//     configuration plus the per-agent observation-history hashes that
+//     Options.TrackState maintains), and a state already explored at
+//     the same or shallower depth with the same or fewer suppressed
+//     transitions is pruned — converged branches are never re-expanded;
+//   - a sleep-set-style partial-order reduction: two enabled actions
+//     commute when their footprints — the acting node and its forward
+//     neighbour, the only nodes an atomic action can read or write —
+//     are disjoint, and commuting reorderings of already-explored
+//     siblings are skipped.
+//
+// Terminal (quiescent) states are checked against the uniform
+// deployment predicate; the first non-uniform terminal, agent failure,
+// step-limit overrun, or move-bound overrun becomes the reported
+// counterexample, with the full decision schedule that reaches it.
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"agentring/internal/ring"
+	"agentring/internal/sim"
+	"agentring/internal/verify"
+)
+
+// ErrSetup wraps invalid explorer construction arguments.
+var ErrSetup = errors.New("explore: invalid setup")
+
+// Default search bounds.
+const (
+	DefaultMaxDepth  = 4096
+	DefaultMaxStates = 1 << 20
+)
+
+// Factory builds one fresh set of agent programs per replay. It is
+// called once for every expanded prefix, so it must be cheap and must
+// return programs in the same deterministic initial state every time.
+type Factory func() ([]sim.Program, error)
+
+// Setup fixes the system whose schedule space is explored: a ring of N
+// nodes, agents on the given distinct homes, and a program factory.
+type Setup struct {
+	N        int
+	Homes    []ring.NodeID
+	Programs Factory
+}
+
+// Options bounds the search.
+type Options struct {
+	// MaxDepth bounds the length of a decision prefix; branches at the
+	// bound are truncated (counted, never expanded). Zero selects
+	// DefaultMaxDepth.
+	MaxDepth int
+	// MaxStates bounds the number of distinct states expanded. Zero
+	// selects DefaultMaxStates.
+	MaxStates int
+	// Workers parallelizes the search across the root's subtrees on a
+	// bounded worker pool. Values <= 1 run sequentially (and make the
+	// reported first counterexample deterministic).
+	Workers int
+	// MaxSteps is the per-replay engine step bound (0 = engine
+	// default). Replays that hit it produce a counterexample.
+	MaxSteps int
+	// MaxTotalMoves, if positive, makes any reached state whose total
+	// move count exceeds it a counterexample — a mechanical check of
+	// the paper's move-complexity bounds along every schedule.
+	MaxTotalMoves int
+	// DisableReduction turns off the sleep-set reduction, leaving only
+	// canonical-state caching. The reachable state set is identical;
+	// only the work to cover it changes. Used to cross-check the
+	// reduction.
+	DisableReduction bool
+}
+
+// Counterexample is a concrete schedule defeating the checked property.
+type Counterexample struct {
+	// Prefix holds the decision indices from the initial configuration.
+	Prefix []int
+	// Schedule holds the chosen atomic action at each decision, so the
+	// run can be replayed (sim.NewControlled(Prefix)) or read directly.
+	Schedule []sim.Choice
+	// Reason says what failed: a non-uniform terminal configuration, an
+	// agent program error, or an exceeded bound.
+	Reason string
+	// Positions are the agents' final nodes in the failing state.
+	Positions []ring.NodeID
+	// Result is the engine result of the failing replay.
+	Result sim.Result
+}
+
+// String renders the counterexample as a replayable schedule listing.
+func (c *Counterexample) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "counterexample after %d decisions: %s\n", len(c.Schedule), c.Reason)
+	for i, ch := range c.Schedule {
+		verb := "arrives at"
+		if ch.Kind == sim.ChoiceWake {
+			verb = "wakes at"
+		}
+		fmt.Fprintf(&b, "  decision %3d (choice %d): agent %d %s node %d\n",
+			i, c.Prefix[i], ch.Agent, verb, ch.Node)
+	}
+	fmt.Fprintf(&b, "  final positions: %v\n", c.Positions)
+	return b.String()
+}
+
+// Report summarizes one exploration.
+type Report struct {
+	// States counts distinct canonical states expanded; Pruned counts
+	// replays that converged onto an already-explored state.
+	States int
+	Pruned int
+	// SleepSkips counts transitions suppressed by the sleep-set
+	// reduction.
+	SleepSkips int
+	// Replays counts engine replays; StepsReplayed their total atomic
+	// actions (the search's real cost).
+	Replays       int
+	StepsReplayed int64
+	// Terminals counts quiescent leaves reached (with repetition);
+	// DistinctTerminals counts distinct terminal configurations.
+	Terminals         int
+	DistinctTerminals int
+	// Truncated counts branches cut by MaxDepth or MaxStates; Deepest
+	// is the longest prefix expanded.
+	Truncated int
+	Deepest   int
+	// Complete is true when the search covered the entire schedule
+	// space: nothing truncated and no early stop on a counterexample.
+	Complete bool
+	// Counterexample is the first property violation found, or nil.
+	Counterexample *Counterexample
+}
+
+// Explore runs the bounded model checker and returns its report. An
+// error is returned only for invalid setups; property violations are
+// reported in Report.Counterexample.
+func Explore(setup Setup, opts Options) (Report, error) {
+	if setup.Programs == nil {
+		return Report{}, fmt.Errorf("%w: nil program factory", ErrSetup)
+	}
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = DefaultMaxDepth
+	}
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = DefaultMaxStates
+	}
+	x := &explorer{
+		setup:     setup,
+		opts:      opts,
+		seen:      make(map[uint64]*cacheEntry),
+		terminals: make(map[uint64]struct{}),
+	}
+	if err := x.dfs(nil, nil, opts.Workers > 1); err != nil {
+		return Report{}, err
+	}
+	x.rep.DistinctTerminals = len(x.terminals)
+	x.rep.Counterexample = x.cex
+	x.rep.Complete = x.rep.Truncated == 0 && x.cex == nil
+	return x.rep, nil
+}
+
+// cacheEntry records how a state was last explored: the shallowest
+// depth it was expanded at and the sleep set in force then. A revisit
+// is redundant iff it is no shallower and would explore a subset of the
+// transitions (its sleep set is a superset of the stored one).
+type cacheEntry struct {
+	depth int
+	sleep map[int]sim.Choice
+}
+
+type explorer struct {
+	setup Setup
+	opts  Options
+
+	mu        sync.Mutex
+	seen      map[uint64]*cacheEntry
+	terminals map[uint64]struct{}
+	rep       Report
+	cex       *Counterexample
+	stop      bool
+}
+
+func (x *explorer) stopped() bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.stop
+}
+
+// replay runs the decision prefix on a fresh engine and returns the
+// replay scheduler (whose Record carries the enabled sets), the run
+// result, and the canonical state key of the reached configuration.
+func (x *explorer) replay(prefix []int) (*sim.Controlled, sim.Result, uint64, error) {
+	programs, err := x.setup.Programs()
+	if err != nil {
+		return nil, sim.Result{}, 0, fmt.Errorf("%w: %v", ErrSetup, err)
+	}
+	r, err := ring.New(x.setup.N)
+	if err != nil {
+		return nil, sim.Result{}, 0, fmt.Errorf("%w: %v", ErrSetup, err)
+	}
+	ctrl := sim.NewControlled(prefix)
+	eng, err := sim.NewEngine(r, x.setup.Homes, programs, sim.Options{
+		Scheduler:  ctrl,
+		MaxSteps:   x.opts.MaxSteps,
+		TrackState: true,
+	})
+	if err != nil {
+		return nil, sim.Result{}, 0, fmt.Errorf("%w: %v", ErrSetup, err)
+	}
+	res, runErr := eng.Run()
+	key := eng.Snapshot().Key()
+	x.mu.Lock()
+	x.rep.Replays++
+	x.rep.StepsReplayed += int64(res.Steps)
+	x.mu.Unlock()
+	if runErr != nil {
+		if errors.Is(runErr, sim.ErrBadSetup) {
+			return nil, res, key, runErr
+		}
+		// Program failures and step-limit overruns are findings, not
+		// search errors: this schedule defeats the algorithm.
+		x.foundCex(prefix, ctrl, res, runErr.Error())
+		return nil, res, key, errReported
+	}
+	return ctrl, res, key, nil
+}
+
+// errReported marks replays whose failure was already converted into a
+// counterexample; the DFS just unwinds.
+var errReported = errors.New("explore: reported")
+
+func (x *explorer) foundCex(prefix []int, ctrl *sim.Controlled, res sim.Result, reason string) {
+	schedule := make([]sim.Choice, 0, len(prefix))
+	for i, pick := range prefix {
+		if i >= len(ctrl.Record) {
+			break
+		}
+		schedule = append(schedule, ctrl.Record[i][pick])
+	}
+	cex := &Counterexample{
+		Prefix:    slices.Clone(prefix[:len(schedule)]),
+		Schedule:  schedule,
+		Reason:    reason,
+		Positions: res.Positions(),
+		Result:    res,
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.cex == nil {
+		x.cex = cex
+		x.stop = true
+	}
+}
+
+// dfs expands the state the prefix leads to. sleep maps agent id to the
+// suppressed choice of that agent (an agent has at most one enabled
+// choice, so agent id identifies it). When parallel is set, the
+// children of this node are distributed over a worker pool instead of
+// being expanded recursively.
+func (x *explorer) dfs(prefix []int, sleep map[int]sim.Choice, parallel bool) error {
+	if x.stopped() {
+		return nil
+	}
+	ctrl, res, key, err := x.replay(prefix)
+	switch {
+	case errors.Is(err, errReported):
+		return nil
+	case err != nil:
+		return err
+	}
+	depth := len(prefix)
+
+	// Check the move bound before caching: move counts are path-dependent
+	// (excluded from the state key), so the check must see every replayed
+	// state — including quiescent terminals and pruned revisits.
+	if x.opts.MaxTotalMoves > 0 && res.TotalMoves > x.opts.MaxTotalMoves {
+		x.foundCex(prefix, ctrl, res,
+			fmt.Sprintf("total moves %d exceed bound %d", res.TotalMoves, x.opts.MaxTotalMoves))
+		return nil
+	}
+
+	x.mu.Lock()
+	if depth > x.rep.Deepest {
+		x.rep.Deepest = depth
+	}
+	entry, ok := x.seen[key]
+	if ok && entry.depth <= depth && subsetOf(entry.sleep, sleep) {
+		x.rep.Pruned++
+		if res.Quiesced {
+			x.rep.Terminals++
+		}
+		x.mu.Unlock()
+		return nil
+	}
+	if !ok {
+		if x.rep.States >= x.opts.MaxStates {
+			x.rep.Truncated++
+			x.mu.Unlock()
+			return nil
+		}
+		x.rep.States++
+		x.seen[key] = &cacheEntry{depth: depth, sleep: cloneSleep(sleep)}
+	} else {
+		// Seen before, but this visit is shallower or suppresses fewer
+		// transitions: re-explore the union by intersecting sleep sets.
+		sleep = intersectSleep(sleep, entry.sleep)
+		entry.sleep = cloneSleep(sleep)
+		if depth < entry.depth {
+			entry.depth = depth
+		}
+	}
+	if res.Quiesced {
+		x.rep.Terminals++
+		first := !ok
+		if first {
+			x.terminals[key] = struct{}{}
+		}
+		x.mu.Unlock()
+		if first {
+			if why := verify.ExplainNonUniform(x.setup.N, res.Positions()); why != "" {
+				x.foundCex(prefix, ctrl, res, "terminal configuration not uniform: "+why)
+			}
+		}
+		return nil
+	}
+	x.mu.Unlock()
+
+	if depth >= x.opts.MaxDepth {
+		x.mu.Lock()
+		x.rep.Truncated++
+		x.mu.Unlock()
+		return nil
+	}
+
+	enabled := ctrl.Record[len(prefix)]
+	type task struct {
+		prefix []int
+		sleep  map[int]sim.Choice
+	}
+	var tasks []task
+	var explored []sim.Choice
+	var firstErr error
+	for i, c := range enabled {
+		if _, suppressed := sleep[c.Agent]; suppressed {
+			x.mu.Lock()
+			x.rep.SleepSkips++
+			x.mu.Unlock()
+			continue
+		}
+		var childSleep map[int]sim.Choice
+		if !x.opts.DisableReduction {
+			// The child inherits every suppressed or already-explored
+			// sibling that commutes with c: executing it before or
+			// after c reaches the same state, and the other order is
+			// (or was) explored from this node.
+			for _, s := range sleep {
+				if independent(s, c, x.setup.N) {
+					childSleep = addSleep(childSleep, s)
+				}
+			}
+			for _, s := range explored {
+				if independent(s, c, x.setup.N) {
+					childSleep = addSleep(childSleep, s)
+				}
+			}
+		}
+		if parallel {
+			tasks = append(tasks, task{
+				prefix: append(slices.Clip(slices.Clone(prefix)), i),
+				sleep:  childSleep,
+			})
+		} else {
+			if err := x.dfs(append(prefix, i), childSleep, false); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if x.stopped() {
+				break
+			}
+		}
+		explored = append(explored, c)
+	}
+	if parallel && firstErr == nil {
+		workers := min(x.opts.Workers, len(tasks))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(tasks) || x.stopped() {
+						return
+					}
+					if err := x.dfs(tasks[i].prefix, tasks[i].sleep, false); err != nil && errs[w] == nil {
+						errs[w] = err
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// independent reports whether two enabled atomic actions commute. An
+// action reads and writes only its footprint — the node it happens at
+// (queue pop, tokens, staying set, mailboxes of co-located agents) and
+// that node's forward neighbour (queue push if the agent moves) — so
+// disjoint footprints imply the actions neither disable each other nor
+// distinguish their execution orders.
+func independent(a, b sim.Choice, n int) bool {
+	an := (int(a.Node) + 1) % n
+	bn := (int(b.Node) + 1) % n
+	return a.Node != b.Node && int(a.Node) != bn && an != int(b.Node) && an != bn
+}
+
+func addSleep(s map[int]sim.Choice, c sim.Choice) map[int]sim.Choice {
+	if s == nil {
+		s = make(map[int]sim.Choice)
+	}
+	s[c.Agent] = c
+	return s
+}
+
+// subsetOf reports a ⊆ b by agent id.
+func subsetOf(a, b map[int]sim.Choice) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for id := range a {
+		if _, ok := b[id]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func intersectSleep(a, b map[int]sim.Choice) map[int]sim.Choice {
+	var out map[int]sim.Choice
+	for id, c := range a {
+		if _, ok := b[id]; ok {
+			out = addSleep(out, c)
+		}
+	}
+	return out
+}
+
+func cloneSleep(s map[int]sim.Choice) map[int]sim.Choice {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make(map[int]sim.Choice, len(s))
+	for id, c := range s {
+		out[id] = c
+	}
+	return out
+}

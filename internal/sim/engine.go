@@ -38,6 +38,15 @@ type Options struct {
 	// O(n + k) to build, so observers are meant for tests and tools, not
 	// hot paths.
 	Observer Observer
+	// TrackState, if set, maintains a per-agent canonical hash of the
+	// agent's complete observation history (every value its program read
+	// through the API) and pending mailbox contents, surfaced as
+	// Configuration.AgentHashes. Programs are deterministic functions of
+	// their observations, so equal hashes identify equal internal
+	// program states; the schedule-space explorer relies on this to
+	// recognize converged branches. Off by default: hashing message
+	// payloads costs a formatting pass per delivery.
+	TrackState bool
 }
 
 type yieldKind int
@@ -62,6 +71,12 @@ type agentState struct {
 	moves   int
 	meter   memmeter.Meter
 	program Program
+
+	// obsHash folds every API observation the program made (tracked
+	// only under Options.TrackState); mailHash folds the payloads
+	// pending in the mailbox, reset at delivery.
+	obsHash  uint64
+	mailHash uint64
 
 	api *apiState
 	// next resumes the agent's coroutine until its next yield; stop
@@ -109,6 +124,8 @@ type Engine struct {
 	steps     int
 	sent      int
 	delivered int
+	track     bool // Options.TrackState
+	quiesced  bool // Run ended with no enabled action (vs stopped/error)
 }
 
 // NewEngine builds an engine for k agents with the given distinct home
@@ -164,6 +181,7 @@ func NewEngine(r *ring.Ring, homes []ring.NodeID, programs []Program, opts Optio
 		maxStep:  maxStep,
 		trace:    opts.Trace,
 		observer: opts.Observer,
+		track:    opts.TrackState,
 	}
 	for v := 0; v < n; v++ {
 		e.qhead[v], e.qtail[v] = -1, -1
@@ -197,6 +215,7 @@ func (e *Engine) Run() (Result, error) {
 	for {
 		choices := e.enabledChoices()
 		if len(choices) == 0 {
+			e.quiesced = true
 			break
 		}
 		if e.steps >= e.maxStep {
@@ -204,6 +223,9 @@ func (e *Engine) Run() (Result, error) {
 			break
 		}
 		pick := e.sched.Pick(e.steps, choices)
+		if pick == PickStop {
+			break
+		}
 		if pick < 0 || pick >= len(choices) {
 			runErr = fmt.Errorf("%w: scheduler picked %d of %d choices", ErrBadSetup, pick, len(choices))
 			break
@@ -330,6 +352,7 @@ func (e *Engine) activate(c Choice) error {
 	e.delivered += len(a.mailbox)
 	a.api.inbox = a.mailbox
 	a.mailbox = nil
+	a.mailHash = 0
 
 	ev, ok := e.resume(a)
 	if !ok {
@@ -426,16 +449,30 @@ func (p *apiState) yieldAndWait(k yieldKind) {
 }
 
 // Move implements API.
-func (p *apiState) Move() { p.yieldAndWait(yieldMove) }
+func (p *apiState) Move() {
+	if p.e.track {
+		p.a.obsHash = fold(p.a.obsHash, opMove)
+	}
+	p.yieldAndWait(yieldMove)
+}
 
 // ReleaseToken implements API.
 func (p *apiState) ReleaseToken() {
+	if p.e.track {
+		p.a.obsHash = fold(p.a.obsHash, opRelease)
+	}
 	p.e.ring.AddToken(p.a.node)
 	p.e.traceEvent(p.a, "token", "")
 }
 
 // TokensHere implements API.
-func (p *apiState) TokensHere() int { return p.e.ring.Tokens(p.a.node) }
+func (p *apiState) TokensHere() int {
+	t := p.e.ring.Tokens(p.a.node)
+	if p.e.track {
+		p.a.obsHash = fold(fold(p.a.obsHash, opTokens), uint64(t))
+	}
+	return t
+}
 
 // AgentsHere implements API.
 func (p *apiState) AgentsHere() int {
@@ -445,6 +482,9 @@ func (p *apiState) AgentsHere() int {
 			count++
 		}
 	}
+	if p.e.track {
+		p.a.obsHash = fold(fold(p.a.obsHash, opAgents), uint64(count))
+	}
 	return count
 }
 
@@ -452,6 +492,11 @@ func (p *apiState) AgentsHere() int {
 func (p *apiState) Broadcast(msg Message) {
 	e := p.e
 	e.sent++
+	var payload uint64
+	if e.track {
+		payload = hashPayload(msg)
+		p.a.obsHash = fold(fold(p.a.obsHash, opBroadcast), payload)
+	}
 	for _, id := range e.staying[p.a.node] {
 		if id == p.a.id {
 			continue
@@ -465,6 +510,9 @@ func (p *apiState) Broadcast(msg Message) {
 				e.wakeable = insertSorted(e.wakeable, id)
 			}
 			other.mailbox = append(other.mailbox, msg)
+			if e.track {
+				other.mailHash = fold(other.mailHash, payload)
+			}
 		}
 	}
 	e.traceEvent(p.a, "broadcast", "")
@@ -474,6 +522,13 @@ func (p *apiState) Broadcast(msg Message) {
 func (p *apiState) Messages() []Message {
 	out := p.inbox
 	p.inbox = nil
+	if p.e.track {
+		h := fold(fold(p.a.obsHash, opMessages), uint64(len(out)))
+		for _, m := range out {
+			h = fold(h, hashPayload(m))
+		}
+		p.a.obsHash = h
+	}
 	return out
 }
 
@@ -481,6 +536,9 @@ func (p *apiState) Messages() []Message {
 func (p *apiState) AwaitMessages() []Message {
 	if len(p.inbox) > 0 {
 		return p.Messages()
+	}
+	if p.e.track {
+		p.a.obsHash = fold(p.a.obsHash, opAwait)
 	}
 	p.yieldAndWait(yieldAwait)
 	return p.Messages()

@@ -41,6 +41,10 @@ type Result struct {
 	// Tokens is the final per-node token count (the T component of the
 	// final configuration).
 	Tokens []int
+	// Quiesced reports whether the run ended because no atomic action
+	// was enabled. It is false when a scheduler stopped the run early
+	// (PickStop) or the run aborted on an error.
+	Quiesced bool
 	// QueuesEmpty reports whether all link FIFO queues were empty at the
 	// end — required by both Definition 1 and Definition 2.
 	QueuesEmpty bool
@@ -116,6 +120,7 @@ func (e *Engine) result() Result {
 	if rc, ok := e.sched.(RoundCounter); ok {
 		res.Rounds = rc.Rounds()
 	}
+	res.Quiesced = e.quiesced
 	res.QueuesEmpty = len(e.occupied) == 0
 	for i, a := range e.agents {
 		res.Agents[i] = AgentReport{

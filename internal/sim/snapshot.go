@@ -31,6 +31,14 @@ type Configuration struct {
 	// Moves is the per-agent cumulative move count (not part of the
 	// paper's C; carried for invariant checking).
 	Moves []int
+	// AgentHashes, present only when the engine runs with
+	// Options.TrackState, holds per-agent canonical hashes folding the
+	// agent's complete observation history with its pending mailbox
+	// payloads. Two configurations with equal visible components and
+	// equal AgentHashes describe the same global state (up to 64-bit
+	// collisions), because each program's internal state is a
+	// deterministic function of what it observed.
+	AgentHashes []uint64
 }
 
 // Observer receives a configuration snapshot after every atomic action
@@ -63,7 +71,50 @@ func (e *Engine) snapshot() Configuration {
 	for v := 0; v < n; v++ {
 		cfg.InTransit[v] = e.queueSnapshot(v)
 	}
+	if e.track {
+		cfg.AgentHashes = make([]uint64, k)
+		for i, a := range e.agents {
+			cfg.AgentHashes[i] = fold(a.obsHash, a.mailHash)
+		}
+	}
 	return cfg
+}
+
+// Snapshot returns the current global configuration. It is valid
+// between atomic actions and after Run has returned (including runs a
+// Controlled scheduler stopped early), which is how replay-driven tools
+// inspect the state a decision prefix leads to.
+func (e *Engine) Snapshot() Configuration { return e.snapshot() }
+
+// Key canonically hashes the configuration into a single value suitable
+// for state caching: every component that determines future behaviour
+// is folded in — statuses, tokens, staying sets, queue contents and
+// order, and AgentHashes — while Step and Moves (run metrics, not
+// state) are excluded. Two configurations with equal keys are the same
+// global state up to 64-bit collisions, provided both were produced by
+// engines with Options.TrackState set.
+func (c Configuration) Key() uint64 {
+	h := uint64(0)
+	for _, s := range c.Statuses {
+		h = fold(h, uint64(s))
+	}
+	for _, t := range c.Tokens {
+		h = fold(h, uint64(t))
+	}
+	for v, ids := range c.Staying {
+		for _, id := range ids {
+			h = fold(fold(h, uint64(v)+1), uint64(id))
+		}
+	}
+	for v, q := range c.InTransit {
+		for _, id := range q {
+			h = fold(fold(h, uint64(v)+1+uint64(len(c.Staying))), uint64(id))
+		}
+	}
+	for _, ah := range c.AgentHashes {
+		h = fold(h, ah)
+	}
+	return h
 }
 
 // Auditor checks execution invariants of the Section 2 model across a

@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// API opcodes folded into an agent's history hash. Every call is
+// folded, not just the ones returning values: a program's internal
+// state can depend on how many result-less calls it made (a loop of
+// bare Move()s advances a loop counter no observation reflects), so the
+// hash must count them to stay a faithful fingerprint of the program's
+// interaction sequence.
+const (
+	opTokens uint64 = iota + 1
+	opAgents
+	opMessages
+	opMove
+	opRelease
+	opBroadcast
+	opAwait
+)
+
+const fnvPrime64 = 1099511628211
+
+// fold mixes the 8 bytes of v into the running FNV-1a style hash h.
+// Programs are deterministic, so folding the full ordered sequence of
+// API calls and observed values yields a hash that identifies the
+// agent's internal state up to 64-bit collisions: equal interaction
+// histories drive a deterministic program through identical executions.
+func fold(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// hashPayload digests an arbitrary message payload through its printed
+// representation (type-tagged so distinct types with equal prints stay
+// distinct). Payloads must therefore print deterministically — true of
+// the value-struct messages the algorithms exchange, and of anything
+// without map fields.
+func hashPayload(m Message) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%T:%v", m, m)
+	return h.Sum64()
+}
