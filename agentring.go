@@ -64,6 +64,13 @@ const (
 	// FirstFit is the uncoordinated baseline heuristic (knows n and k);
 	// it usually fails to achieve exact uniformity.
 	FirstFit
+	// BiNative is the bidirectional-ring variant of Algorithm 1: the
+	// selection phase is identical (one forward circuit over the
+	// tokens), but the deployment phase takes the shorter way around —
+	// backward via port 1 when the target lies closer behind. Final
+	// positions equal Native's; total moves are never more. Requires a
+	// bidirectional-ring topology (Config.Topology = NewBiRingTopology).
+	BiNative
 )
 
 // String implements fmt.Stringer.
@@ -81,6 +88,8 @@ func (a Algorithm) String() string {
 		return "naive-halting"
 	case FirstFit:
 		return "first-fit"
+	case BiNative:
+		return "binative(k)"
 	default:
 		return fmt.Sprintf("algorithm(%d)", int(a))
 	}
@@ -107,8 +116,13 @@ const (
 
 // Config describes one run.
 type Config struct {
-	// N is the ring size.
+	// N is the ring size. When Topology is set, N may be left zero (it
+	// is derived) or must equal Topology.Size().
 	N int
+	// Topology selects the network substrate; nil means the paper's
+	// default, the unidirectional ring of N nodes. See NewBiRingTopology,
+	// NewTorusTopology, NewTreeTopology, ParseTopology.
+	Topology *Topology
 	// Homes are the agents' distinct initial nodes.
 	Homes []int
 	// Scheduler picks the interleaving policy; default RoundRobin.
@@ -135,13 +149,37 @@ type Config struct {
 // ErrConfig is wrapped by all configuration errors from Run.
 var ErrConfig = errors.New("agentring: invalid configuration")
 
-// Run executes the chosen algorithm on the configured ring until
-// quiescence and reports the outcome. The run is deterministic for a
-// fixed configuration.
-func Run(alg Algorithm, cfg Config) (Report, error) {
-	if cfg.N < 1 {
-		return Report{}, fmt.Errorf("%w: ring size %d", ErrConfig, cfg.N)
+// resolveTopology derives the engine substrate and node count from a
+// Config: the explicit Topology when set (N, if non-zero, must agree),
+// else the default unidirectional ring of N nodes.
+func resolveTopology(cfg Config) (sim.Topology, int, error) {
+	if cfg.Topology != nil {
+		size := cfg.Topology.Size()
+		if cfg.N != 0 && cfg.N != size {
+			return nil, 0, fmt.Errorf("%w: N=%d disagrees with %s size %d", ErrConfig, cfg.N, cfg.Topology, size)
+		}
+		return cfg.Topology.inner, size, nil
 	}
+	if cfg.N < 1 {
+		return nil, 0, fmt.Errorf("%w: ring size %d", ErrConfig, cfg.N)
+	}
+	r, err := ring.New(cfg.N)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	return r, cfg.N, nil
+}
+
+// Run executes the chosen algorithm on the configured substrate (the
+// unidirectional ring of Config.N nodes unless Config.Topology selects
+// another) until quiescence and reports the outcome. The run is
+// deterministic for a fixed configuration.
+func Run(alg Algorithm, cfg Config) (Report, error) {
+	st, n, err := resolveTopology(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	cfg.N = n
 	k := len(cfg.Homes)
 	if k < 1 {
 		return Report{}, fmt.Errorf("%w: no agents", ErrConfig)
@@ -150,7 +188,7 @@ func Run(alg Algorithm, cfg Config) (Report, error) {
 	for i, h := range cfg.Homes {
 		homes[i] = ring.NodeID(h)
 	}
-	programs, err := buildPrograms(alg, cfg.N, k)
+	programs, err := buildPrograms(alg, cfg, n, k)
 	if err != nil {
 		return Report{}, err
 	}
@@ -162,11 +200,7 @@ func Run(alg Algorithm, cfg Config) (Report, error) {
 	if cfg.TraceCapacity > 0 {
 		trace = sim.NewTrace(cfg.TraceCapacity)
 	}
-	r, err := ring.New(cfg.N)
-	if err != nil {
-		return Report{}, fmt.Errorf("%w: %v", ErrConfig, err)
-	}
-	engine, err := sim.NewEngine(r, homes, programs, sim.Options{
+	engine, err := sim.NewEngine(st, homes, programs, sim.Options{
 		Scheduler: sched,
 		MaxSteps:  cfg.MaxSteps,
 		Trace:     trace,
@@ -179,7 +213,15 @@ func Run(alg Algorithm, cfg Config) (Report, error) {
 	return report, runErr
 }
 
-func buildPrograms(alg Algorithm, n, k int) ([]sim.Program, error) {
+func buildPrograms(alg Algorithm, cfg Config, n, k int) ([]sim.Program, error) {
+	if alg == BiNative {
+		// The program's port-1 moves assume the backward link of a
+		// bidirectional ring; reject substrates where port 1 means
+		// something else (torus south) or is absent (ring, tree).
+		if cfg.Topology == nil || cfg.Topology.Kind() != KindBiRing {
+			return nil, fmt.Errorf("%w: %s requires a biring topology (Config.Topology = NewBiRingTopology)", ErrConfig, alg)
+		}
+	}
 	mk := func() (sim.Program, error) {
 		switch alg {
 		case Native:
@@ -194,6 +236,8 @@ func buildPrograms(alg Algorithm, n, k int) ([]sim.Program, error) {
 			return core.NewNaiveEstimator(), nil
 		case FirstFit:
 			return baseline.NewFirstFit(n, k)
+		case BiNative:
+			return core.NewBiNative(k)
 		default:
 			return nil, fmt.Errorf("%w: unknown algorithm %d", ErrConfig, int(alg))
 		}

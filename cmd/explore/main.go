@@ -41,11 +41,12 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
 	var (
-		n        = fs.Int("n", 6, "ring size")
+		n        = fs.Int("n", 6, "ring size (ignored for torus/tree topologies)")
 		k        = fs.Int("k", 2, "agent count (clustered from node 0 unless -homes is given)")
-		algName  = fs.String("alg", "native", "algorithm: native | native-n | logspace | relaxed | naive | firstfit")
+		algName  = fs.String("alg", "native", "algorithm: native | native-n | logspace | relaxed | naive | firstfit | binative")
+		topoSpec = fs.String("topology", "ring", "substrate: ring | biring | torus=RxC | tree=<edge list>")
 		homesCSV = fs.String("homes", "", "comma-separated home nodes (overrides -k)")
-		all      = fs.Bool("all", false, "explore every initial configuration of the n-ring (up to rotation; ignores -k and -homes)")
+		all      = fs.Bool("all", false, "explore every initial configuration of the substrate (up to rotation on ring families; ignores -k and -homes)")
 		depth    = fs.Int("depth", 0, "schedule depth bound (0 = default)")
 		states   = fs.Int("states", 0, "distinct-state bound (0 = default)")
 		workers  = fs.Int("workers", 0, "parallel subtree workers (<=1 = sequential)")
@@ -67,7 +68,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *all {
-		rows, exploreErr := experiments.ExploreAll(alg, *n, opts)
+		rows, exploreErr := experiments.ExploreAllOn(alg, *topoSpec, *n, opts)
 		if *jsonFlag {
 			if err := writeJSON(out, rows); err != nil {
 				return err
@@ -78,11 +79,15 @@ func run(args []string, out io.Writer) error {
 		return exploreErr
 	}
 
-	homes, err := parseHomes(*homesCSV, *n, *k)
+	topo, err := agentring.ParseTopology(*topoSpec, *n)
 	if err != nil {
 		return err
 	}
-	rep, err := agentring.Explore(alg, agentring.Config{N: *n, Homes: homes}, opts)
+	homes, err := parseHomes(*homesCSV, topo.Size(), *k)
+	if err != nil {
+		return err
+	}
+	rep, err := agentring.Explore(alg, agentring.Config{Topology: topo, Homes: homes}, opts)
 	if err != nil {
 		return err
 	}
@@ -115,6 +120,8 @@ func parseAlg(name string) (agentring.Algorithm, error) {
 		return agentring.NaiveHalting, nil
 	case "firstfit":
 		return agentring.FirstFit, nil
+	case "binative":
+		return agentring.BiNative, nil
 	default:
 		return 0, fmt.Errorf("unknown algorithm %q", name)
 	}
@@ -151,7 +158,7 @@ func printReport(out io.Writer, homes []int, rep agentring.ExploreReport) {
 	case !rep.Complete:
 		cover = fmt.Sprintf("bounded search (%d branches truncated)", rep.Truncated)
 	}
-	fmt.Fprintf(out, "%s on n=%d homes=%v: %s\n", rep.Algorithm, rep.N, homes, cover)
+	fmt.Fprintf(out, "%s on %s homes=%v: %s\n", rep.Algorithm, rep.Topology, homes, cover)
 	fmt.Fprintf(out, "  %d states (%d pruned, %d sleep-set skips), %d replays totalling %d steps\n",
 		rep.States, rep.Pruned, rep.SleepSkips, rep.Replays, rep.StepsReplayed)
 	fmt.Fprintf(out, "  %d distinct terminal configuration(s), deepest schedule %d decisions\n",

@@ -78,3 +78,24 @@ func TestExploreBadArgs(t *testing.T) {
 		t.Error("malformed homes accepted")
 	}
 }
+
+func TestExploreBiRingBiNative(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-topology", "biring", "-alg", "binative", "-n", "5", "-k", "2"}, &out); err != nil {
+		t.Fatalf("biring binative exploration failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "biring(5)") || !strings.Contains(s, "no counterexample") {
+		t.Errorf("unexpected output:\n%s", s)
+	}
+}
+
+func TestExploreTorusSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-topology", "torus=2x3", "-alg", "native", "-k", "2"}, &out); err != nil {
+		t.Fatalf("torus exploration failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "torus(2x3)") {
+		t.Errorf("unexpected output:\n%s", out.String())
+	}
+}

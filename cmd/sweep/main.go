@@ -5,12 +5,21 @@
 // across a bounded worker pool (agentring.RunBatch), so large grids
 // scale with the machine.
 //
+// The substrate defaults to the paper's unidirectional ring; -topology
+// runs the same grids on a bidirectional ring (which also unlocks the
+// binative column), or pins the sweep to a fixed-size twisted torus or
+// Euler-embedded tree (the (n) axis then collapses to that size, with
+// ring algorithms deploying along the substrate's port-0 Hamiltonian
+// cycle).
+//
 // Usage:
 //
 //	sweep                 # all algorithms, default grid
 //	sweep -alg relaxed    # only the relaxed-algorithm degree sweep
 //	sweep -big -workers 4 # larger grid on a 4-worker pool
 //	sweep -json           # machine-readable rows for trend tracking
+//	sweep -topology biring -alg binative   # bidirectional shortcut grid
+//	sweep -topology torus=8x8              # all algorithms on one torus
 package main
 
 import (
@@ -34,7 +43,8 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		algName  = fs.String("alg", "all", "algorithm: native | logspace | relaxed | all")
+		algName  = fs.String("alg", "all", "algorithm: native | logspace | relaxed | binative | all")
+		topoSpec = fs.String("topology", "ring", "substrate: ring | biring | torus=RxC | tree=<edge list>")
 		seed     = fs.Int64("seed", 1, "base seed")
 		big      = fs.Bool("big", false, "use the larger grid (slower)")
 		chart    = fs.Bool("chart", false, "append ASCII bar charts of total moves (table output only)")
@@ -50,6 +60,37 @@ func run(args []string, out io.Writer) error {
 	if *big {
 		ns = []int{64, 256, 1024, 4096}
 		ks = []int{4, 16, 64, 256}
+	}
+	if *algName == "binative" && *topoSpec != "biring" {
+		return fmt.Errorf("-alg binative requires -topology biring")
+	}
+	// Fixed-size substrates (torus=RxC, tree=...) pin the (n) axis to
+	// their own size; the ring families take their sizes from the grid.
+	if *topoSpec != "ring" && *topoSpec != "biring" {
+		probe, err := agentring.ParseTopology(*topoSpec, 0)
+		if err != nil {
+			return err
+		}
+		ns = []int{probe.Size()}
+		var fit []int
+		for _, k := range ks {
+			if k <= probe.Size()/2 {
+				fit = append(fit, k)
+			}
+		}
+		if len(fit) == 0 {
+			return fmt.Errorf("substrate %s too small for the k grid %v", probe, ks)
+		}
+		ks = fit
+	}
+	withTopology := func(specs []experiments.Spec) []experiments.Spec {
+		if *topoSpec == "ring" {
+			return specs
+		}
+		for i := range specs {
+			specs[i].Topology = *topoSpec
+		}
+		return specs
 	}
 
 	var jsonRows []experiments.Row
@@ -69,26 +110,49 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *algName == "native" || *algName == "all" {
-		rows, err := experiments.RunAll(experiments.Table1Specs(agentring.Native, ns, ks, *seed), *workers)
+		rows, err := experiments.RunAll(withTopology(experiments.Table1Specs(agentring.Native, ns, ks, *seed)), *workers)
 		if err != nil {
 			return err
 		}
 		emit("== Table 1, column 1: Algorithm 1 (knows k) — O(k log n) memory, O(n) time, O(kn) moves ==", rows, "")
 	}
 	if *algName == "logspace" || *algName == "all" {
-		rows, err := experiments.RunAll(experiments.Table1Specs(agentring.LogSpace, ns, ks, *seed), *workers)
+		rows, err := experiments.RunAll(withTopology(experiments.Table1Specs(agentring.LogSpace, ns, ks, *seed)), *workers)
 		if err != nil {
 			return err
 		}
 		emit("== Table 1, column 2: Algorithms 2+3 (knows k) — O(log n) memory, O(n log k) time, O(kn) moves ==", rows, "")
+	}
+	if *topoSpec == "biring" && (*algName == "binative" || *algName == "all") {
+		rows, err := experiments.RunAll(withTopology(experiments.Table1Specs(agentring.BiNative, ns, ks, *seed)), *workers)
+		if err != nil {
+			return err
+		}
+		emit("== Bidirectional variant: Algorithm 1 with shortest-way deployment — same targets, fewer moves ==", rows, "")
 	}
 	if *algName == "relaxed" || *algName == "all" {
 		n, k := 256, 16
 		if *big {
 			n, k = 1024, 32
 		}
+		if len(ns) == 1 { // fixed-size substrate
+			n = ns[0]
+			k = ks[len(ks)-1]
+		}
 		degrees := divisorsUpTo(k)
-		rows, err := experiments.RunAll(experiments.DegreeSpecs(n, k, degrees, *seed), *workers)
+		specs := experiments.DegreeSpecs(n, k, degrees, *seed)
+		if *topoSpec != "ring" {
+			// Periodic placements need l | n; fixed-size substrates may
+			// not admit every divisor of k, so keep only those that fit.
+			var kept []experiments.Spec
+			for _, s := range specs {
+				if n%s.Degree == 0 {
+					kept = append(kept, s)
+				}
+			}
+			specs = withTopology(kept)
+		}
+		rows, err := experiments.RunAll(specs, *workers)
 		if err != nil {
 			return err
 		}

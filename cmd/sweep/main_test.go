@@ -90,3 +90,27 @@ func TestSweepExitCodes(t *testing.T) {
 		t.Fatalf("nonUniform = %v", failed)
 	}
 }
+
+func TestSweepBiRingBiNative(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-topology", "biring", "-alg", "binative"}, &out); err != nil {
+		t.Fatalf("biring binative sweep failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "Bidirectional variant") {
+		t.Errorf("missing binative section:\n%s", out.String())
+	}
+	if err := run([]string{"-alg", "binative"}, &bytes.Buffer{}); err == nil {
+		t.Error("binative without -topology biring should fail")
+	}
+}
+
+func TestSweepFixedSubstrates(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-topology", "torus=8x8", "-alg", "native"}, &out); err != nil {
+		t.Fatalf("torus sweep failed: %v\n%s", err, out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-topology", "tree=0-1,1-2,2-3,3-4,4-5,5-6,6-7,7-8", "-alg", "logspace"}, &out); err != nil {
+		t.Fatalf("tree sweep failed: %v\n%s", err, out.String())
+	}
+}

@@ -1,10 +1,15 @@
 // Command uniformdeploy runs one uniform-deployment algorithm on one
-// ring configuration and prints the outcome.
+// configuration and prints the outcome. The substrate defaults to the
+// paper's unidirectional ring; -topology selects a bidirectional ring,
+// a twisted torus, or a tree (deployed on its Euler-tour virtual ring).
 //
 // Usage:
 //
 //	uniformdeploy -n 48 -k 8 -alg relaxed -workload periodic -degree 4
 //	uniformdeploy -n 16 -homes 0,1,5,11 -alg native -sched sync
+//	uniformdeploy -n 24 -k 6 -topology biring -alg binative
+//	uniformdeploy -topology torus=4x8 -k 8 -alg native
+//	uniformdeploy -topology tree=0-1,1-2,1-3,3-4 -k 3 -alg logspace
 package main
 
 import (
@@ -29,9 +34,10 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("uniformdeploy", flag.ContinueOnError)
 	var (
-		n        = fs.Int("n", 16, "ring size")
+		n        = fs.Int("n", 16, "ring size (ignored for torus/tree topologies, which fix their own size)")
 		k        = fs.Int("k", 4, "number of agents (ignored when -homes is given)")
-		algName  = fs.String("alg", "native", "algorithm: native | native-n | logspace | relaxed | naive | firstfit")
+		topoSpec = fs.String("topology", "ring", "substrate: ring | biring | torus=RxC | tree=<edge list, e.g. 0-1,1-2>")
+		algName  = fs.String("alg", "native", "algorithm: native | native-n | logspace | relaxed | naive | firstfit | binative")
 		workload = fs.String("workload", "random", "initial configuration: random | clustered | uniform | periodic")
 		degree   = fs.Int("degree", 1, "symmetry degree for -workload periodic")
 		seed     = fs.Int64("seed", 1, "workload / scheduler seed")
@@ -52,13 +58,17 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	homes, err := buildHomes(*homesCSV, *workload, *n, *k, *degree, *seed)
+	topo, err := agentring.ParseTopology(*topoSpec, *n)
+	if err != nil {
+		return err
+	}
+	homes, err := buildHomes(*homesCSV, *workload, topo.Size(), *k, *degree, *seed)
 	if err != nil {
 		return err
 	}
 
 	rep, err := agentring.Run(alg, agentring.Config{
-		N:             *n,
+		Topology:      topo,
 		Homes:         homes,
 		Scheduler:     schedKind,
 		Seed:          *seed,
@@ -68,6 +78,15 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(out, rep.Summary())
+	if topo.Kind() == agentring.KindTree {
+		// Project virtual-ring positions back onto the tree and report
+		// the coverage quality the deployment achieved there.
+		if treePos, perr := topo.TreeNodes(rep.Positions); perr == nil {
+			if worst, mean, cerr := topo.Tree().Coverage(dedupInts(treePos)); cerr == nil {
+				fmt.Fprintf(out, "tree positions %v: worst coverage %d, mean %.2f\n", treePos, worst, mean)
+			}
+		}
+	}
 	if *verbose {
 		fmt.Fprintf(out, "\n%-6s %-6s %-6s %-7s %-9s %s\n", "agent", "home", "node", "moves", "memwords", "state")
 		for i, a := range rep.Agents {
@@ -102,9 +121,23 @@ func parseAlgorithm(name string) (agentring.Algorithm, error) {
 		return agentring.NaiveHalting, nil
 	case "firstfit":
 		return agentring.FirstFit, nil
+	case "binative":
+		return agentring.BiNative, nil
 	default:
 		return 0, fmt.Errorf("unknown algorithm %q", name)
 	}
+}
+
+func dedupInts(v []int) []int {
+	seen := make(map[int]bool, len(v))
+	out := make([]int, 0, len(v))
+	for _, x := range v {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
 }
 
 func parseScheduler(name string) (agentring.SchedulerKind, error) {

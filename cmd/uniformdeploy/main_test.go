@@ -78,3 +78,36 @@ func TestRunNaiveNonUniformIsAnError(t *testing.T) {
 		t.Skip("first-fit got lucky; not an error")
 	}
 }
+
+func TestRunTopologies(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"biring binative", []string{"-n", "24", "-k", "6", "-topology", "biring", "-alg", "binative"}, "binative(k) on biring(24)"},
+		{"torus native", []string{"-topology", "torus=4x8", "-k", "8", "-alg", "native"}, "on torus(4x8)"},
+		{"tree logspace", []string{"-topology", "tree=0-1,1-2,1-3,3-4", "-k", "3", "-alg", "logspace"}, "worst coverage"},
+	}
+	for _, tc := range cases {
+		var out bytes.Buffer
+		if err := run(tc.args, &out); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		s := out.String()
+		if !strings.Contains(s, "uniform deployment reached") || !strings.Contains(s, tc.want) {
+			t.Errorf("%s: unexpected output:\n%s", tc.name, s)
+		}
+	}
+}
+
+func TestRunTopologyErrors(t *testing.T) {
+	// binative needs a backward port.
+	if err := run([]string{"-n", "12", "-k", "3", "-alg", "binative"}, &bytes.Buffer{}); err == nil {
+		t.Error("binative on the default ring should fail")
+	}
+	if err := run([]string{"-n", "12", "-k", "3", "-topology", "moebius"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown topology should fail")
+	}
+}

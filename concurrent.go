@@ -25,6 +25,12 @@ const DefaultConcurrentTimeout = 2 * time.Minute
 // target-node *set* is deterministic while the per-agent assignment may
 // vary. Supported algorithms: Native, LogSpace, Relaxed.
 func RunConcurrent(alg Algorithm, cfg Config) (Report, error) {
+	if cfg.Topology != nil && cfg.Topology.Kind() != KindRing {
+		return Report{}, fmt.Errorf("%w: the concurrent substrate is ring-only (got %s)", ErrConfig, cfg.Topology)
+	}
+	if cfg.Topology != nil {
+		cfg.N = cfg.Topology.Size()
+	}
 	if cfg.N < 1 {
 		return Report{}, fmt.Errorf("%w: ring size %d", ErrConfig, cfg.N)
 	}

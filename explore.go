@@ -48,8 +48,10 @@ type ExploreCounterexample struct {
 
 // ExploreReport is the outcome of one schedule-space exploration.
 type ExploreReport struct {
-	// Algorithm and configuration echo.
+	// Algorithm and configuration echo. Topology names the substrate
+	// explored ("ring(6)", "biring(5)", "torus(2x3)", ...).
 	Algorithm string `json:"algorithm"`
+	Topology  string `json:"topology"`
 	N         int    `json:"n"`
 	K         int    `json:"k"`
 
@@ -87,13 +89,18 @@ type ExploreReport struct {
 // failure, or exceeded bound. A nil Counterexample with Complete true
 // is a mechanically checked proof that the algorithm deploys uniformly
 // under every asynchronous schedule from this configuration.
+// Config.Topology selects the substrate (default: the unidirectional
+// ring of Config.N nodes); the partial-order reduction adapts its
+// commutation footprints to the substrate's out-neighbourhoods.
 //
 // Config's Scheduler, Seed and TraceCapacity are ignored: the explorer
 // drives scheduling itself.
 func Explore(alg Algorithm, cfg Config, opts ExploreOptions) (ExploreReport, error) {
-	if cfg.N < 1 {
-		return ExploreReport{}, fmt.Errorf("%w: ring size %d", ErrConfig, cfg.N)
+	st, n, err := resolveTopology(cfg)
+	if err != nil {
+		return ExploreReport{}, err
 	}
+	cfg.N = n
 	k := len(cfg.Homes)
 	if k < 1 {
 		return ExploreReport{}, fmt.Errorf("%w: no agents", ErrConfig)
@@ -104,14 +111,15 @@ func Explore(alg Algorithm, cfg Config, opts ExploreOptions) (ExploreReport, err
 	}
 	// Validate eagerly (duplicate homes, unknown algorithm) so setup
 	// mistakes surface as ErrConfig before the search starts.
-	if _, err := buildPrograms(alg, cfg.N, k); err != nil {
+	if _, err := buildPrograms(alg, cfg, n, k); err != nil {
 		return ExploreReport{}, err
 	}
 	rep, err := explore.Explore(explore.Setup{
-		N:     cfg.N,
-		Homes: homes,
+		N:        n,
+		Topology: st,
+		Homes:    homes,
 		Programs: func() ([]sim.Program, error) {
-			return buildPrograms(alg, cfg.N, k)
+			return buildPrograms(alg, cfg, n, k)
 		},
 	}, explore.Options{
 		MaxDepth:      opts.MaxDepth,
@@ -125,6 +133,7 @@ func Explore(alg Algorithm, cfg Config, opts ExploreOptions) (ExploreReport, err
 	}
 	out := ExploreReport{
 		Algorithm:         alg.String(),
+		Topology:          topologyName(cfg),
 		N:                 cfg.N,
 		K:                 k,
 		States:            rep.States,

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"agentring/internal/seq"
+	"agentring/internal/sim"
+)
+
+// biNative is the bidirectional-ring variant of Algorithm 1, the first
+// algorithm in this codebase that exploits the engine's multi-port
+// topology layer. It assumes the substrate is a bidirectional ring
+// whose port 0 is the forward (clockwise) link and port 1 the backward
+// link (internal/topo.BiRing).
+//
+// The selection phase is exactly Algorithm 1's: release the token, walk
+// one full forward circuit collecting the distance sequence D, and
+// derive n, the base rank, and the target offset. The deployment phase
+// then moves along whichever direction is shorter: forward delta =
+// (disBase + offset) mod n steps via port 0, or backward n - delta
+// steps via port 1. The final positions are *identical* to Algorithm
+// 1's on the same initial configuration (the target assignment is a
+// pure function of the token geometry), but the deployment phase costs
+// at most floor(n/2) moves per agent instead of up to ~2n, so total
+// moves drop strictly whenever any agent's target lies behind it.
+// Correctness under asynchrony is unchanged: the return journey reads
+// nothing — agents in transit interact with nobody — and every token is
+// already placed before any agent finishes its circuit.
+type biNative struct {
+	k int
+}
+
+var _ sim.Program = (*biNative)(nil)
+
+// NewBiNative returns the bidirectional Algorithm 1 variant for agents
+// that know k. The substrate must expose the backward link as port 1.
+func NewBiNative(k int) (sim.Program, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w: k=%d", ErrBadParam, k)
+	}
+	return &biNative{k: k}, nil
+}
+
+// Run implements sim.Program.
+func (p *biNative) Run(api sim.API) error {
+	if deg := api.OutDegree(); deg < 2 {
+		return fmt.Errorf("%w: bidirectional algorithm on out-degree-%d node", ErrBadParam, deg)
+	}
+	m := api.Meter()
+	const scalars = 7 // j, dis, n, rank, disBase, moved, delta
+	m.Set(scalars)
+
+	// Selection phase (identical to Algorithm 1): release the token,
+	// travel once forward around the ring, recording the distance
+	// between consecutive token nodes.
+	api.ReleaseToken()
+	var d []int
+	moved := 0
+	for {
+		dis := 0
+		for {
+			api.Move()
+			moved++
+			dis++
+			if api.TokensHere() > 0 {
+				break
+			}
+		}
+		d = append(d, dis)
+		m.Set(scalars + len(d))
+		if len(d) == p.k {
+			break
+		}
+	}
+	n := moved // one full circuit
+	if seq.Sum(d) != n {
+		return fmt.Errorf("%w: distance sequence sums to %d, circuit length %d", ErrInvariant, seq.Sum(d), n)
+	}
+
+	// Target selection, shared with Algorithm 1.
+	rank := seq.MinRotation(d)
+	disBase := seq.Sum(d[:rank])
+	b := seq.SymmetryDegree(d)
+	offset, err := TargetOffset(n, p.k, b, rank)
+	if err != nil {
+		return fmt.Errorf("target for rank %d: %w", rank, err)
+	}
+
+	// Deployment phase: the agent is back at its home node, so the
+	// target lies delta nodes ahead — take the short way around.
+	delta := (disBase + offset) % n
+	if delta <= n-delta {
+		for i := 0; i < delta; i++ {
+			api.Move()
+		}
+	} else {
+		for i := 0; i < n-delta; i++ {
+			api.MoveVia(1)
+		}
+	}
+	// Returning enters the halt state: termination detection achieved.
+	return nil
+}

@@ -30,6 +30,11 @@ type Spec struct {
 	Degree    int   // symmetry degree for WorkloadPeriodic
 	Seed      int64 // workload + scheduler seed
 	Scheduler agentring.SchedulerKind
+	// Topology is an agentring.ParseTopology spec selecting the
+	// substrate ("", "ring" = the default N-node unidirectional ring;
+	// "biring", "torus=RxC", "tree=<edges>"). For fixed-size specs
+	// (torus, tree) N must equal the substrate size.
+	Topology string
 }
 
 // Row is one measured table row.
@@ -68,12 +73,20 @@ func (s Spec) Config() (agentring.Config, error) {
 	if err != nil {
 		return agentring.Config{}, err
 	}
-	return agentring.Config{
+	cfg := agentring.Config{
 		N:         s.N,
 		Homes:     homes,
 		Scheduler: s.Scheduler,
 		Seed:      s.Seed,
-	}, nil
+	}
+	if s.Topology != "" && s.Topology != "ring" {
+		topo, err := agentring.ParseTopology(s.Topology, s.N)
+		if err != nil {
+			return agentring.Config{}, err
+		}
+		cfg.Topology = topo
+	}
+	return cfg, nil
 }
 
 func rowFrom(spec Spec, rep agentring.Report) Row {

@@ -51,17 +51,52 @@ func AllPlacements(n int) [][]int {
 // setup error aborts the sweep, because a single failing schedule
 // already refutes the universally quantified claim under test.
 func ExploreAll(alg agentring.Algorithm, n int, opts agentring.ExploreOptions) ([]ExploreRow, error) {
-	placements := AllPlacements(n)
+	return ExploreAllOn(alg, "ring", n, opts)
+}
+
+// ExploreAllOn is ExploreAll on an arbitrary substrate, given as an
+// agentring.ParseTopology spec ("ring", "biring", "torus=RxC",
+// "tree=<edges>"; n sizes the ring families). Placements are still
+// deduplicated up to rotation of the node numbering, which is sound
+// exactly for the rotation-symmetric substrates (ring, biring); for
+// tori and trees every placement is explored.
+func ExploreAllOn(alg agentring.Algorithm, topology string, n int, opts agentring.ExploreOptions) ([]ExploreRow, error) {
+	topo, err := agentring.ParseTopology(topology, n)
+	if err != nil {
+		return nil, err
+	}
+	n = topo.Size()
+	// Placement enumeration is 2^n; anything past ~20 nodes is both
+	// unexplorable and an int-shift hazard, so fail loudly instead of
+	// returning a vacuous "all placements verified".
+	const maxAllNodes = 20
+	if n > maxAllNodes {
+		return nil, fmt.Errorf("substrate %s has %d nodes; exhaustive placement enumeration is capped at %d", topo, n, maxAllNodes)
+	}
+	var placements [][]int
+	if topo.Kind() == agentring.KindRing || topo.Kind() == agentring.KindBiRing {
+		placements = AllPlacements(n)
+	} else {
+		for mask := 1; mask < 1<<n; mask++ {
+			var homes []int
+			for v := 0; v < n; v++ {
+				if mask&(1<<v) != 0 {
+					homes = append(homes, v)
+				}
+			}
+			placements = append(placements, homes)
+		}
+	}
 	rows := make([]ExploreRow, 0, len(placements))
 	for _, homes := range placements {
-		rep, err := agentring.Explore(alg, agentring.Config{N: n, Homes: homes}, opts)
+		rep, err := agentring.Explore(alg, agentring.Config{Topology: topo, Homes: homes}, opts)
 		if err != nil {
-			return rows, fmt.Errorf("explore %s n=%d homes=%v: %w", alg, n, homes, err)
+			return rows, fmt.Errorf("explore %s on %s homes=%v: %w", alg, topo, homes, err)
 		}
 		rows = append(rows, ExploreRow{Algorithm: alg, N: n, Homes: homes, Report: rep})
 		if rep.Counterexample != nil {
-			return rows, fmt.Errorf("explore %s n=%d homes=%v: counterexample: %s",
-				alg, n, homes, rep.Counterexample.Reason)
+			return rows, fmt.Errorf("explore %s on %s homes=%v: counterexample: %s",
+				alg, topo, homes, rep.Counterexample.Reason)
 		}
 	}
 	return rows, nil

@@ -20,10 +20,13 @@
 //     the same or shallower depth with the same or fewer suppressed
 //     transitions is pruned — converged branches are never re-expanded;
 //   - a sleep-set-style partial-order reduction: two enabled actions
-//     commute when their footprints — the acting node and its forward
-//     neighbour, the only nodes an atomic action can read or write —
-//     are disjoint, and commuting reorderings of already-explored
-//     siblings are skipped.
+//     commute when their footprints — the acting node and its full
+//     out-neighbourhood, the only nodes an atomic action can read or
+//     write — are disjoint, and commuting reorderings of
+//     already-explored siblings are skipped. The footprint is computed
+//     from the Setup's Topology, so the reduction stays sound on
+//     multi-port graphs (bidirectional rings, tori, trees), not just
+//     the unidirectional ring it was first written for.
 //
 // Terminal (quiescent) states are checked against the uniform
 // deployment predicate; the first non-uniform terminal, agent failure,
@@ -58,12 +61,24 @@ const (
 // return programs in the same deterministic initial state every time.
 type Factory func() ([]sim.Program, error)
 
-// Setup fixes the system whose schedule space is explored: a ring of N
-// nodes, agents on the given distinct homes, and a program factory.
+// Setup fixes the system whose schedule space is explored: a substrate
+// (a unidirectional ring of N nodes unless Topology overrides it),
+// agents on the given distinct homes, and a program factory.
 type Setup struct {
 	N        int
 	Homes    []ring.NodeID
 	Programs Factory
+	// Topology, if non-nil, replaces the default N-node unidirectional
+	// ring. Topologies must be immutable: one value is shared across
+	// every replay. N is ignored (derived) when Topology is set.
+	Topology sim.Topology
+	// Property checks a quiescent terminal state, returning "" when it
+	// is acceptable and a human-readable violation otherwise. Nil
+	// selects the paper's predicate: uniform deployment on the n-node
+	// ring numbering (sound for every substrate whose port-0 links form
+	// a Hamiltonian cycle in node order — the ring, the bidirectional
+	// ring, Euler virtual rings, and the twisted torus).
+	Property func(res sim.Result) string
 }
 
 // Options bounds the search.
@@ -166,9 +181,29 @@ func Explore(setup Setup, opts Options) (Report, error) {
 	if opts.MaxStates <= 0 {
 		opts.MaxStates = DefaultMaxStates
 	}
+	topo := setup.Topology
+	if topo == nil {
+		r, err := ring.New(setup.N)
+		if err != nil {
+			return Report{}, fmt.Errorf("%w: %v", ErrSetup, err)
+		}
+		topo = r
+	}
+	setup.N = topo.Size()
+	setup.Topology = topo
+	if setup.Property == nil {
+		n := setup.N
+		setup.Property = func(res sim.Result) string {
+			if why := verify.ExplainNonUniform(n, res.Positions()); why != "" {
+				return "terminal configuration not uniform: " + why
+			}
+			return ""
+		}
+	}
 	x := &explorer{
 		setup:     setup,
 		opts:      opts,
+		fp:        footprints(topo),
 		seen:      make(map[uint64]*cacheEntry),
 		terminals: make(map[uint64]struct{}),
 	}
@@ -193,6 +228,9 @@ type cacheEntry struct {
 type explorer struct {
 	setup Setup
 	opts  Options
+	// fp[v] is the footprint of an atomic action at node v as a node
+	// bitset: v itself plus its whole out-neighbourhood.
+	fp [][]uint64
 
 	mu        sync.Mutex
 	seen      map[uint64]*cacheEntry
@@ -216,12 +254,10 @@ func (x *explorer) replay(prefix []int) (*sim.Controlled, sim.Result, uint64, er
 	if err != nil {
 		return nil, sim.Result{}, 0, fmt.Errorf("%w: %v", ErrSetup, err)
 	}
-	r, err := ring.New(x.setup.N)
-	if err != nil {
-		return nil, sim.Result{}, 0, fmt.Errorf("%w: %v", ErrSetup, err)
-	}
 	ctrl := sim.NewControlled(prefix)
-	eng, err := sim.NewEngine(r, x.setup.Homes, programs, sim.Options{
+	// The topology is immutable (tokens are engine state), so one
+	// shared value serves every replay.
+	eng, err := sim.NewEngine(x.setup.Topology, x.setup.Homes, programs, sim.Options{
 		Scheduler:  ctrl,
 		MaxSteps:   x.opts.MaxSteps,
 		TrackState: true,
@@ -339,8 +375,8 @@ func (x *explorer) dfs(prefix []int, sleep map[int]sim.Choice, parallel bool) er
 		}
 		x.mu.Unlock()
 		if first {
-			if why := verify.ExplainNonUniform(x.setup.N, res.Positions()); why != "" {
-				x.foundCex(prefix, ctrl, res, "terminal configuration not uniform: "+why)
+			if why := x.setup.Property(res); why != "" {
+				x.foundCex(prefix, ctrl, res, why)
 			}
 		}
 		return nil
@@ -376,12 +412,12 @@ func (x *explorer) dfs(prefix []int, sleep map[int]sim.Choice, parallel bool) er
 			// after c reaches the same state, and the other order is
 			// (or was) explored from this node.
 			for _, s := range sleep {
-				if independent(s, c, x.setup.N) {
+				if x.independent(s, c) {
 					childSleep = addSleep(childSleep, s)
 				}
 			}
 			for _, s := range explored {
-				if independent(s, c, x.setup.N) {
+				if x.independent(s, c) {
 					childSleep = addSleep(childSleep, s)
 				}
 			}
@@ -431,16 +467,49 @@ func (x *explorer) dfs(prefix []int, sleep map[int]sim.Choice, parallel bool) er
 	return firstErr
 }
 
+// footprints precomputes, for every node v, the bitset {v} ∪ outN(v).
+func footprints(t sim.Topology) [][]uint64 {
+	n := t.Size()
+	words := (n + 63) / 64
+	fp := make([][]uint64, n)
+	for v := 0; v < n; v++ {
+		bits := make([]uint64, words)
+		bits[v/64] |= 1 << (v % 64)
+		for p := 0; p < t.Degree(ring.NodeID(v)); p++ {
+			w := int(t.Neighbor(ring.NodeID(v), p))
+			bits[w/64] |= 1 << (w % 64)
+		}
+		fp[v] = bits
+	}
+	return fp
+}
+
 // independent reports whether two enabled atomic actions commute. An
 // action reads and writes only its footprint — the node it happens at
-// (queue pop, tokens, staying set, mailboxes of co-located agents) and
-// that node's forward neighbour (queue push if the agent moves) — so
+// (queue pops toward it, tokens, staying set, mailboxes of co-located
+// agents) and that node's *entire out-neighbourhood* (the queue pushed
+// if the agent moves, via whichever port its program picks) — so
 // disjoint footprints imply the actions neither disable each other nor
 // distinguish their execution orders.
-func independent(a, b sim.Choice, n int) bool {
-	an := (int(a.Node) + 1) % n
-	bn := (int(b.Node) + 1) % n
-	return a.Node != b.Node && int(a.Node) != bn && an != int(b.Node) && an != bn
+//
+// The out-neighbourhood generalization is what keeps the sleep-set
+// reduction sound beyond the unidirectional ring: on a multi-port
+// topology an action at u can push onto *any* edge (u -> w), and a
+// conflicting action at w pops or pushes queues toward w, so u and w
+// must never be classified independent when any port links them. The
+// original {node, next(node)} footprint would wrongly commute, e.g.,
+// actions at the two endpoints of a bidirectional ring's backward
+// link, silently losing interleavings (and with them, potential
+// counterexamples). TestSleepSetSoundOnMultiPort regression-checks
+// this against a reduction-free reference search.
+func (x *explorer) independent(a, b sim.Choice) bool {
+	fa, fb := x.fp[a.Node], x.fp[b.Node]
+	for i, w := range fa {
+		if w&fb[i] != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 func addSleep(s map[int]sim.Choice, c sim.Choice) map[int]sim.Choice {

@@ -55,6 +55,20 @@ func (r *Ring) Next(v NodeID) NodeID {
 	return NodeID((int(v) + 1) % r.n)
 }
 
+// Degree returns the out-degree of v. A unidirectional ring has exactly
+// one outgoing link per node, which makes *Ring the port-0-only instance
+// of the simulator's Topology interface.
+func (r *Ring) Degree(NodeID) int { return 1 }
+
+// Neighbor returns the node reached from v via the given out-port. The
+// only port of a unidirectional ring is 0, the forward link.
+func (r *Ring) Neighbor(v NodeID, port int) NodeID {
+	if port != 0 {
+		return -1 // rejected by the engine's edge validation
+	}
+	return r.Next(v)
+}
+
 // Forward returns the node d hops forward of v. d may be any non-negative
 // integer.
 func (r *Ring) Forward(v NodeID, d int) NodeID {

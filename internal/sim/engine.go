@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"iter"
+	"reflect"
 	"slices"
 
 	"agentring/internal/memmeter"
@@ -59,6 +60,7 @@ const (
 
 type yieldEvent struct {
 	kind yieldKind
+	port int // out-port for yieldMove
 	err  error
 }
 
@@ -71,6 +73,11 @@ type agentState struct {
 	moves   int
 	meter   memmeter.Meter
 	program Program
+
+	// inRank is the arrival rank of the directed edge the agent most
+	// recently traversed (-1 before its first move: the initial
+	// home-buffer pop is a residency, not a traversal).
+	inRank int32
 
 	// obsHash folds every API observation the program made (tracked
 	// only under Options.TrackState); mailHash folds the payloads
@@ -87,39 +94,59 @@ type agentState struct {
 	err     error
 }
 
-// Engine drives one execution of a set of agent programs on a ring.
-// An Engine is single-use: construct, Run once, inspect the Result.
+// Engine drives one execution of a set of agent programs on a topology
+// (a unidirectional ring by default; see Topology). An Engine is
+// single-use: construct, Run once, inspect the Result.
 //
-// The engine never rescans the topology: the set of enabled atomic
-// actions is maintained incrementally. occupied holds the nodes with a
-// non-empty incoming link queue (ascending), wakeable holds the
-// suspended agents with a non-empty mailbox (ascending), and staying
-// indexes the waiting/halted agents per node so co-location queries cost
-// O(co-located agents) instead of O(k). Each step rebuilds the choice
-// slice from these sets into a buffer reused across steps, so the
-// steady-state loop allocates nothing.
+// The engine never rescans the topology: the whole edge set is
+// flattened into dense arrays at construction (edgeTable), so the
+// steady-state loop performs no Topology interface calls, and the set
+// of enabled atomic actions is maintained incrementally. Link FIFOs are
+// per *directed edge* — a node with several incoming links has several
+// independently ordered queues, exactly the FIFO-link model
+// generalized — and occupied holds the non-empty edges by arrival rank
+// (ascending), wakeable holds the suspended agents with a non-empty
+// mailbox (ascending), and staying indexes the waiting/halted agents
+// per node so co-location queries cost O(co-located agents) instead of
+// O(k). Each step rebuilds the choice slice from these sets into a
+// buffer reused across steps, so the steady-state loop allocates
+// nothing.
 type Engine struct {
-	ring     *ring.Ring
+	et       *edgeTable
+	tokens   []int // per-node indelible token counts (the T component)
 	agents   []*agentState
 	sched    Scheduler
 	maxStep  int
 	trace    *Trace
 	observer Observer
 
-	// The per-node link FIFOs are intrusive singly-linked lists over
-	// agent ids: qhead/qtail index per node, qnext per agent. An agent
-	// occupies at most one queue at a time, so a single next-pointer
-	// array serves every queue and push/pop never allocate (the seed's
-	// queues[v] = queues[v][1:] dequeue kept popped prefixes reachable
-	// and re-grew the backing array on every lap of the ring).
-	qhead []int // per node: first agent in transit toward it, -1 if none
-	qtail []int // per node: last agent in transit toward it, -1 if none
-	qnext []int // per agent: successor in its queue, -1 at the tail
+	// The per-edge link FIFOs are intrusive singly-linked lists over
+	// agent ids, indexed by the edge's arrival rank: qhead/qtail per
+	// rank, qnext per agent. An agent occupies at most one queue at a
+	// time, so a single next-pointer array serves every queue and
+	// push/pop never allocate; rank indexing keeps the enabled-choice
+	// scan on rank-parallel arrays with no edge-id indirection.
+	qhead []int32 // per edge rank: first agent in transit along it, -1 if none
+	qtail []int32 // per edge rank: last agent in transit along it, -1 if none
+	qnext []int32 // per agent: successor in its queue, -1 at the tail
 
-	occupied []int   // nodes v with queues[v] non-empty, ascending
+	occupied []int   // arrival ranks of edges with non-empty queues, ascending
 	wakeable []int   // waiting agents with non-empty mailboxes, ascending
 	staying  [][]int // staying[v] = waiting/halted agent ids at node v
 	choices  []Choice
+
+	// The paper's initial configuration puts each agent in the incoming
+	// buffer of its home node, guaranteeing it takes the first atomic
+	// action there. On an in-degree-1 topology the node's single link
+	// FIFO provides that for free (visitors queue behind the resident),
+	// but with several incoming links a visitor on another edge could
+	// slip past, so the home buffer is modeled explicitly: initPending
+	// holds each node's not-yet-activated resident, and arrivals into a
+	// node are suppressed until its resident has acted. initNodes keeps
+	// the pending home nodes ascending; once it drains (after at most k
+	// steps) enabledChoices takes the init-free fast path.
+	initPending []int32 // per node: resident agent awaiting first activation, -1 if none
+	initNodes   []int   // nodes with a pending resident, ascending
 
 	steps     int
 	sent      int
@@ -129,13 +156,22 @@ type Engine struct {
 }
 
 // NewEngine builds an engine for k agents with the given distinct home
-// nodes and per-agent programs. The ring must already exist; tokens are
+// nodes and per-agent programs on the given topology (pass a *ring.Ring
+// for the paper's unidirectional ring). Tokens are engine state,
 // released by the programs themselves.
-func NewEngine(r *ring.Ring, homes []ring.NodeID, programs []Program, opts Options) (*Engine, error) {
-	if r == nil {
-		return nil, fmt.Errorf("%w: nil ring", ErrBadSetup)
+func NewEngine(t Topology, homes []ring.NodeID, programs []Program, opts Options) (*Engine, error) {
+	if t == nil {
+		return nil, fmt.Errorf("%w: nil topology", ErrBadSetup)
 	}
-	k, n := len(homes), r.Size()
+	// Guard typed-nil pointers (a nil *ring.Ring in the interface).
+	if rv := reflect.ValueOf(t); rv.Kind() == reflect.Pointer && rv.IsNil() {
+		return nil, fmt.Errorf("%w: nil topology", ErrBadSetup)
+	}
+	et, err := buildEdgeTable(t)
+	if err != nil {
+		return nil, err
+	}
+	k, n := len(homes), et.n
 	if k == 0 {
 		return nil, fmt.Errorf("%w: no agents", ErrBadSetup)
 	}
@@ -168,11 +204,13 @@ func NewEngine(r *ring.Ring, homes []ring.NodeID, programs []Program, opts Optio
 		// wake-ups; 1000 + 400*n*k covers everything with a wide margin.
 		maxStep = 1000 + 400*n*k
 	}
+	m := et.edges()
 	e := &Engine{
-		ring:     r,
-		qhead:    make([]int, n),
-		qtail:    make([]int, n),
-		qnext:    make([]int, k),
+		et:       et,
+		tokens:   make([]int, n),
+		qhead:    make([]int32, m),
+		qtail:    make([]int32, m),
+		qnext:    make([]int32, k),
 		staying:  make([][]int, n),
 		occupied: make([]int, 0, k),
 		wakeable: make([]int, 0, k),
@@ -183,8 +221,12 @@ func NewEngine(r *ring.Ring, homes []ring.NodeID, programs []Program, opts Optio
 		observer: opts.Observer,
 		track:    opts.TrackState,
 	}
-	for v := 0; v < n; v++ {
-		e.qhead[v], e.qtail[v] = -1, -1
+	for i := 0; i < m; i++ {
+		e.qhead[i], e.qtail[i] = -1, -1
+	}
+	e.initPending = make([]int32, n)
+	for v := range e.initPending {
+		e.initPending[v] = -1
 	}
 	e.agents = make([]*agentState, k)
 	for i := range homes {
@@ -193,13 +235,19 @@ func NewEngine(r *ring.Ring, homes []ring.NodeID, programs []Program, opts Optio
 			home:    homes[i],
 			node:    homes[i],
 			status:  StatusInTransit, // in the home node's incoming buffer
+			inRank:  -1,
 			program: programs[i],
 		}
 		a.api = &apiState{e: e, a: a}
 		e.agents[i] = a
 		// The initial configuration stores each agent in the incoming
-		// buffer of its home node, so it acts there before any visitor.
-		e.enqueue(homes[i], i)
+		// buffer of its home node, which blocks link arrivals into that
+		// node until the resident has taken its first atomic action —
+		// the paper's "each agent acts first at its home" assumption,
+		// which on the ring coincides with sitting at the head of the
+		// node's single link FIFO.
+		e.initPending[homes[i]] = int32(i)
+		e.initNodes = insertSorted(e.initNodes, int(homes[i]))
 	}
 	return e, nil
 }
@@ -264,36 +312,36 @@ func removeSorted(s []int, v int) []int {
 	return slices.Delete(s, i, i+1)
 }
 
-// enqueue appends agent id to the FIFO toward dest, registering the node
-// as occupied if the queue was empty.
-func (e *Engine) enqueue(dest ring.NodeID, id int) {
-	if e.qhead[dest] == -1 {
-		e.occupied = insertSorted(e.occupied, int(dest))
-		e.qhead[dest] = id
+// enqueue appends agent id to the FIFO of the rank-r edge, registering
+// the edge as occupied if its queue was empty.
+func (e *Engine) enqueue(r, id int) {
+	if e.qhead[r] == -1 {
+		e.occupied = insertSorted(e.occupied, r)
+		e.qhead[r] = int32(id)
 	} else {
-		e.qnext[e.qtail[dest]] = id
+		e.qnext[e.qtail[r]] = int32(id)
 	}
-	e.qtail[dest] = id
+	e.qtail[r] = int32(id)
 	e.qnext[id] = -1
 }
 
-// dequeue pops the head of the FIFO toward v, deregistering the node
-// when its queue drains.
-func (e *Engine) dequeue(v ring.NodeID) int {
-	id := e.qhead[v]
-	e.qhead[v] = e.qnext[id]
-	if e.qhead[v] == -1 {
-		e.qtail[v] = -1
-		e.occupied = removeSorted(e.occupied, int(v))
+// dequeue pops the head of the FIFO of the rank-r edge, deregistering
+// the edge when its queue drains.
+func (e *Engine) dequeue(r int) int {
+	id := e.qhead[r]
+	e.qhead[r] = e.qnext[id]
+	if e.qhead[r] == -1 {
+		e.qtail[r] = -1
+		e.occupied = removeSorted(e.occupied, r)
 	}
-	return id
+	return int(id)
 }
 
-// queueSnapshot copies the FIFO toward v, head first.
-func (e *Engine) queueSnapshot(v int) []int {
+// queueSnapshot copies the FIFO of the rank-r edge, head first.
+func (e *Engine) queueSnapshot(r int) []int {
 	var out []int
-	for id := e.qhead[v]; id != -1; id = e.qnext[id] {
-		out = append(out, id)
+	for id := e.qhead[r]; id != -1; id = e.qnext[id] {
+		out = append(out, int(id))
 	}
 	return out
 }
@@ -314,15 +362,58 @@ func (e *Engine) removeStaying(a *agentState) {
 
 // enabledChoices rebuilds the enabled-action list from the incremental
 // indexes in the same deterministic order the schedulers were specified
-// against: arrivals by destination node ascending, then wakes by agent
-// index ascending. The backing array is reused across steps.
+// against: arrivals (and initial home activations, which displace the
+// arrivals into their node) by destination node ascending — with ties
+// among a node's several in-edges broken by edge id, bit-identical to
+// the pre-topology engine on in-degree-1 substrates — then wakes by
+// agent index ascending. The backing array is reused across steps, and
+// the init merge disappears entirely once every agent has started.
 func (e *Engine) enabledChoices() []Choice {
 	out := e.choices[:0]
-	for _, v := range e.occupied {
-		out = append(out, Choice{Kind: ChoiceArrival, Agent: e.qhead[v], Node: ring.NodeID(v)})
+	if len(e.initNodes) == 0 {
+		for _, r := range e.occupied {
+			out = append(out, Choice{
+				Kind:  ChoiceArrival,
+				Agent: int(e.qhead[r]),
+				Node:  ring.NodeID(e.et.rankDest[r]),
+				Edge:  r,
+			})
+		}
+	} else {
+		oi := 0
+		for _, v := range e.initNodes {
+			for oi < len(e.occupied) {
+				r := e.occupied[oi]
+				if int(e.et.rankDest[r]) >= v {
+					break
+				}
+				out = append(out, Choice{
+					Kind:  ChoiceArrival,
+					Agent: int(e.qhead[r]),
+					Node:  ring.NodeID(e.et.rankDest[r]),
+					Edge:  r,
+				})
+				oi++
+			}
+			// The resident's first activation is the node's only enabled
+			// action: link arrivals into v stay suppressed behind it.
+			out = append(out, Choice{Kind: ChoiceArrival, Agent: int(e.initPending[v]), Node: ring.NodeID(v), Edge: -1})
+			for oi < len(e.occupied) && int(e.et.rankDest[e.occupied[oi]]) == v {
+				oi++
+			}
+		}
+		for ; oi < len(e.occupied); oi++ {
+			r := e.occupied[oi]
+			out = append(out, Choice{
+				Kind:  ChoiceArrival,
+				Agent: int(e.qhead[r]),
+				Node:  ring.NodeID(e.et.rankDest[r]),
+				Edge:  r,
+			})
+		}
 	}
 	for _, id := range e.wakeable {
-		out = append(out, Choice{Kind: ChoiceWake, Agent: id, Node: e.agents[id].node})
+		out = append(out, Choice{Kind: ChoiceWake, Agent: id, Node: e.agents[id].node, Edge: -1})
 	}
 	e.choices = out
 	return out
@@ -334,11 +425,23 @@ func (e *Engine) activate(c Choice) error {
 	wasStaying := false
 	switch c.Kind {
 	case ChoiceArrival:
-		if e.qhead[c.Node] != a.id {
-			return fmt.Errorf("%w: arrival choice desynchronized", ErrBadSetup)
+		if c.Edge == -1 {
+			// First activation out of the home buffer: a residency, not
+			// a link traversal (ArrivalPort stays -1), which unblocks
+			// link arrivals into the node.
+			if int(c.Node) >= len(e.initPending) || e.initPending[c.Node] != int32(a.id) {
+				return fmt.Errorf("%w: init choice desynchronized", ErrBadSetup)
+			}
+			e.initPending[c.Node] = -1
+			e.initNodes = removeSorted(e.initNodes, int(c.Node))
+		} else {
+			if c.Edge < 0 || c.Edge >= e.et.edges() || e.qhead[c.Edge] != int32(a.id) {
+				return fmt.Errorf("%w: arrival choice desynchronized", ErrBadSetup)
+			}
+			e.dequeue(c.Edge)
+			a.node = ring.NodeID(e.et.rankDest[c.Edge])
+			a.inRank = int32(c.Edge)
 		}
-		e.dequeue(c.Node)
-		a.node = c.Node
 		e.traceEvent(a, "arrive", "")
 	case ChoiceWake:
 		wasStaying = true
@@ -362,14 +465,22 @@ func (e *Engine) activate(c Choice) error {
 	a.api.inbox = nil
 	switch ev.kind {
 	case yieldMove:
-		dest := e.ring.Next(a.node)
+		// The port was validated inside MoveVia before yielding, so the
+		// lookup cannot go out of bounds.
+		r := int(e.et.rank[int(e.et.start[a.node])+ev.port])
 		a.moves++
 		a.status = StatusInTransit
 		if wasStaying {
 			e.removeStaying(a)
 		}
-		e.enqueue(dest, a.id)
-		e.traceEvent(a, "move", "")
+		e.enqueue(r, a.id)
+		if e.trace != nil {
+			detail := ""
+			if ev.port != 0 {
+				detail = fmt.Sprintf("via port %d", ev.port)
+			}
+			e.traceEvent(a, "move", detail)
+		}
 	case yieldAwait:
 		a.status = StatusWaiting
 		if !wasStaying {
@@ -442,18 +553,47 @@ type apiState struct {
 
 var _ API = (*apiState)(nil)
 
-func (p *apiState) yieldAndWait(k yieldKind) {
-	if !p.a.yieldFn(yieldEvent{kind: k}) {
+func (p *apiState) yieldAndWait(ev yieldEvent) {
+	if !p.a.yieldFn(ev) {
 		panic(errStopped)
 	}
 }
 
 // Move implements API.
-func (p *apiState) Move() {
-	if p.e.track {
-		p.a.obsHash = fold(p.a.obsHash, opMove)
+func (p *apiState) Move() { p.MoveVia(0) }
+
+// MoveVia implements API.
+func (p *apiState) MoveVia(port int) {
+	if deg := p.e.et.outDegree(p.a.node); port < 0 || port >= deg {
+		// Unwinds the coroutine; the resume wrapper converts the panic
+		// into a program failure for this agent.
+		panic(fmt.Errorf("move via port %d at node with out-degree %d", port, deg))
 	}
-	p.yieldAndWait(yieldMove)
+	if p.e.track {
+		p.a.obsHash = fold(fold(p.a.obsHash, opMove), uint64(port))
+	}
+	p.yieldAndWait(yieldEvent{kind: yieldMove, port: port})
+}
+
+// OutDegree implements API.
+func (p *apiState) OutDegree() int {
+	deg := p.e.et.outDegree(p.a.node)
+	if p.e.track {
+		p.a.obsHash = fold(fold(p.a.obsHash, opOutDegree), uint64(deg))
+	}
+	return deg
+}
+
+// ArrivalPort implements API.
+func (p *apiState) ArrivalPort() int {
+	port := -1
+	if p.a.inRank >= 0 {
+		port = int(p.e.et.rankRev[p.a.inRank])
+	}
+	if p.e.track {
+		p.a.obsHash = fold(fold(p.a.obsHash, opArrivalPort), uint64(port+1))
+	}
+	return port
 }
 
 // ReleaseToken implements API.
@@ -461,13 +601,13 @@ func (p *apiState) ReleaseToken() {
 	if p.e.track {
 		p.a.obsHash = fold(p.a.obsHash, opRelease)
 	}
-	p.e.ring.AddToken(p.a.node)
+	p.e.tokens[p.a.node]++
 	p.e.traceEvent(p.a, "token", "")
 }
 
 // TokensHere implements API.
 func (p *apiState) TokensHere() int {
-	t := p.e.ring.Tokens(p.a.node)
+	t := p.e.tokens[p.a.node]
 	if p.e.track {
 		p.a.obsHash = fold(fold(p.a.obsHash, opTokens), uint64(t))
 	}
@@ -540,7 +680,7 @@ func (p *apiState) AwaitMessages() []Message {
 	if p.e.track {
 		p.a.obsHash = fold(p.a.obsHash, opAwait)
 	}
-	p.yieldAndWait(yieldAwait)
+	p.yieldAndWait(yieldEvent{kind: yieldAwait})
 	return p.Messages()
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"agentring/internal/ring"
+	"agentring/internal/topo"
 )
 
 // BenchmarkSteadyState measures the engine's raw stepping rate: k agents
@@ -44,6 +45,81 @@ func BenchmarkSteadyState(b *testing.B) {
 			}
 			b.ReportMetric(float64(steps), "steps/op")
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*steps), "ns/step")
+		})
+	}
+}
+
+// steadyState runs k walkers across the given substrate and reports
+// ns/step, the shared harness of the topology steady-state benchmarks.
+func steadyState(b *testing.B, t Topology, mkProgram func() Program) {
+	b.Helper()
+	n := t.Size()
+	const k = 100
+	homes := make([]ring.NodeID, k)
+	for i := range homes {
+		homes[i] = ring.NodeID(i * (n / k))
+	}
+	var steps int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		programs := make([]Program, k)
+		for j := range programs {
+			programs[j] = mkProgram()
+		}
+		e, err := NewEngine(t, homes, programs, Options{Scheduler: NewRoundRobin()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = res.Steps
+	}
+	b.ReportMetric(float64(steps), "steps/op")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*steps), "ns/step")
+}
+
+// BenchmarkSteadyStateBiRing is BenchmarkSteadyState on a bidirectional
+// ring: the same forward walk, but every node now has two in-edges, so
+// the per-directed-edge queue and rank tables are exercised with
+// doubled edge counts.
+func BenchmarkSteadyStateBiRing(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		walk := 2 * n / 100
+		b.Run(fmt.Sprintf("n=%d/k=100", n), func(b *testing.B) {
+			bi, err := topo.NewBiRing(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			steadyState(b, bi, func() Program { return walker(walk) })
+		})
+	}
+}
+
+// BenchmarkSteadyStateTorus walks agents diagonally (alternating east
+// and south) across a twisted torus, so every step alternates between
+// the substrate's two port classes.
+func BenchmarkSteadyStateTorus(b *testing.B) {
+	for _, dims := range [][2]int{{25, 40}, {100, 100}} {
+		n := dims[0] * dims[1]
+		walk := 2 * n / 100
+		b.Run(fmt.Sprintf("n=%d/k=100", n), func(b *testing.B) {
+			tor, err := topo.NewTorus(dims[0], dims[1])
+			if err != nil {
+				b.Fatal(err)
+			}
+			steadyState(b, tor, func() Program {
+				return ProgramFunc(func(api API) error {
+					for i := 0; i < walk; i++ {
+						api.MoveVia(i % 2)
+					}
+					return nil
+				})
+			})
 		})
 	}
 }

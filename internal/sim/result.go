@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"slices"
+
 	"agentring/internal/ring"
 )
 
@@ -113,7 +115,7 @@ func (e *Engine) result() Result {
 		MessagesSent:      e.sent,
 		MessagesDelivered: e.delivered,
 		Agents:            make([]AgentReport, len(e.agents)),
-		Tokens:            e.ring.TokenSnapshot(),
+		Tokens:            slices.Clone(e.tokens),
 		QueuesEmpty:       true,
 		MailboxesEmpty:    true,
 	}

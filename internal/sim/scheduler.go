@@ -24,12 +24,18 @@ type Choice struct {
 	Kind  ChoiceKind
 	Agent int         // engine-internal agent index
 	Node  ring.NodeID // arrival destination, or the node a waking agent stays at
+	// Edge identifies the link FIFO an arrival pops (an engine-internal
+	// directed-edge id; multi-port topologies can have several distinct
+	// queues toward the same node). It is -1 for wakes.
+	Edge int
 }
 
 // Scheduler selects which enabled atomic action happens next. Pick
 // receives the engine step number and the non-empty slice of enabled
-// choices (in a deterministic order: arrivals by destination node
-// ascending, then wakes by agent index ascending) and returns the index
+// choices (in a deterministic order: arrivals by (destination node,
+// link) ascending — which is destination ascending on in-degree-1
+// topologies like the ring — then wakes by agent index ascending) and
+// returns the index
 // of the chosen one, or PickStop to end the run cleanly before
 // quiescence. Implementations driving a full run must be fair: every
 // persistently enabled agent must eventually be picked.

@@ -54,10 +54,31 @@ func (f ProgramFunc) Run(api API) error { return f(api) }
 // API is the world as one anonymous agent sees it. All methods must be
 // called from the agent's own Run goroutine.
 type API interface {
-	// Move ends the current atomic action by moving the agent to the next
-	// node in the (unidirectional) forward direction. It returns when the
-	// agent has arrived and its next atomic action begins.
+	// Move ends the current atomic action by moving the agent along
+	// port 0 — the forward direction of a ring, and by convention the
+	// primary direction of every topology. It returns when the agent
+	// has arrived and its next atomic action begins. Move is exactly
+	// MoveVia(0), so port-0-only programs (the paper's unidirectional
+	// algorithms) run unchanged on any topology.
 	Move()
+
+	// MoveVia ends the current atomic action by moving the agent along
+	// the given out-port of the current node (0 <= port < OutDegree()).
+	// An out-of-range port is a program error and aborts the agent.
+	MoveVia(port int)
+
+	// OutDegree returns the number of outgoing ports at the current
+	// node. It is 1 everywhere on a unidirectional ring.
+	OutDegree() int
+
+	// ArrivalPort returns the port at the *current* node that leads
+	// back along the link the agent most recently traversed, or -1 when
+	// there is no such information: the agent has not moved yet (the
+	// initial activation at its home node), or the topology has no
+	// reverse link (e.g. a unidirectional ring). On symmetric
+	// topologies this is what port-local traversal rules (Euler tours
+	// on trees, right-hand walks) are built from.
+	ArrivalPort() int
 
 	// ReleaseToken drops the indelible token at the current node.
 	// The model gives each agent one token; releasing more than once is

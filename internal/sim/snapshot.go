@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"slices"
 
 	"agentring/internal/ring"
 )
@@ -25,9 +26,18 @@ type Configuration struct {
 	// Staying is P: for each node, the agents staying there (waiting or
 	// halted), in agent-index order.
 	Staying [][]int
-	// InTransit is Q: for each node v, the FIFO queue of agents in
-	// transit toward v (head first).
+	// InTransit is Q: for each node v, the agents in transit toward v
+	// (head first). On an in-degree-1 topology this is the node's single
+	// link FIFO; with several incoming links it concatenates the
+	// per-link queues in arrival-rank order, and EdgeQueues carries the
+	// exact per-link structure.
 	InTransit [][]int
+	// EdgeQueues is the per-directed-edge FIFO structure, indexed by
+	// arrival rank (edges sorted by destination, then edge id; on a
+	// unidirectional ring rank r is the single edge toward node r, so
+	// EdgeQueues equals InTransit there). Nil for hand-built
+	// configurations that predate the topology layer.
+	EdgeQueues [][]int
 	// Moves is the per-agent cumulative move count (not part of the
 	// paper's C; carried for invariant checking).
 	Moves []int
@@ -49,15 +59,16 @@ type Observer func(Configuration)
 
 // snapshot builds the current global configuration.
 func (e *Engine) snapshot() Configuration {
-	n := e.ring.Size()
+	n := e.et.n
 	k := len(e.agents)
 	cfg := Configuration{
 		Step:         e.steps,
 		Statuses:     make([]Status, k),
-		Tokens:       e.ring.TokenSnapshot(),
+		Tokens:       slices.Clone(e.tokens),
 		MailboxSizes: make([]int, k),
 		Staying:      make([][]int, n),
 		InTransit:    make([][]int, n),
+		EdgeQueues:   make([][]int, e.et.edges()),
 		Moves:        make([]int, k),
 	}
 	for i, a := range e.agents {
@@ -68,8 +79,16 @@ func (e *Engine) snapshot() Configuration {
 			cfg.Staying[a.node] = append(cfg.Staying[a.node], i)
 		}
 	}
-	for v := 0; v < n; v++ {
-		cfg.InTransit[v] = e.queueSnapshot(v)
+	// Residents still awaiting their first activation head their home
+	// node's in-transit view: the initial configuration's home buffer.
+	for _, v := range e.initNodes {
+		cfg.InTransit[v] = append(cfg.InTransit[v], int(e.initPending[v]))
+	}
+	for r := 0; r < e.et.edges(); r++ {
+		q := e.queueSnapshot(r)
+		cfg.EdgeQueues[r] = q
+		dest := e.et.rankDest[r]
+		cfg.InTransit[dest] = append(cfg.InTransit[dest], q...)
 	}
 	if e.track {
 		cfg.AgentHashes = make([]uint64, k)
@@ -106,9 +125,13 @@ func (c Configuration) Key() uint64 {
 			h = fold(fold(h, uint64(v)+1), uint64(id))
 		}
 	}
-	for v, q := range c.InTransit {
+	queues := c.EdgeQueues
+	if queues == nil {
+		queues = c.InTransit
+	}
+	for r, q := range queues {
 		for _, id := range q {
-			h = fold(fold(h, uint64(v)+1+uint64(len(c.Staying))), uint64(id))
+			h = fold(fold(h, uint64(r)+1+uint64(len(c.Staying))), uint64(id))
 		}
 	}
 	for _, ah := range c.AgentHashes {
@@ -228,13 +251,21 @@ func (a *Auditor) check(cfg Configuration) error {
 		}
 	}
 	// (5) FIFO: a queue changes only by popping its head or pushing at
-	// its tail. Both at once is possible only on a 1-node ring, where an
-	// arriving agent's move re-enters the same queue.
+	// its tail. Both at once is possible only on a 1-node network, where
+	// an arriving agent's move re-enters a queue toward the same node.
+	// Engine snapshots are audited per directed edge (EdgeQueues);
+	// hand-built configurations without edge structure fall back to the
+	// per-node view, which is identical on in-degree-1 topologies.
 	allowReentry := len(cfg.Tokens) == 1
-	for v := range cfg.InTransit {
-		if !fifoEvolution(prev.InTransit[v], cfg.InTransit[v], allowReentry) {
-			return fmt.Errorf("audit: step %d: queue to node %d mutated non-FIFO: %v -> %v",
-				cfg.Step, v, prev.InTransit[v], cfg.InTransit[v])
+	prevQ, curQ := prev.InTransit, cfg.InTransit
+	unit := "node"
+	if prev.EdgeQueues != nil && cfg.EdgeQueues != nil {
+		prevQ, curQ, unit = prev.EdgeQueues, cfg.EdgeQueues, "edge rank"
+	}
+	for v := range curQ {
+		if !fifoEvolution(prevQ[v], curQ[v], allowReentry) {
+			return fmt.Errorf("audit: step %d: queue to %s %d mutated non-FIFO: %v -> %v",
+				cfg.Step, unit, v, prevQ[v], curQ[v])
 		}
 	}
 	return nil

@@ -19,6 +19,8 @@ const (
 	opRelease
 	opBroadcast
 	opAwait
+	opOutDegree
+	opArrivalPort
 )
 
 const fnvPrime64 = 1099511628211

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"fmt"
+
+	"agentring/internal/ring"
+)
+
+// Topology is the static substrate an Engine runs on: a finite directed
+// graph given by node count, per-node out-degree, and a port-indexed
+// neighbor map. Nodes are identified by ring.NodeID (the canonical
+// 0..n-1 numbering); ports number a node's outgoing links 0..Degree-1.
+//
+// Implementations must be immutable once handed to an engine: the
+// engine materializes the whole edge set at construction (so the
+// steady-state stepping loop performs no interface calls and stays
+// allocation-free regardless of the implementation), and replay-driven
+// tools share one Topology value across many engines.
+//
+// *ring.Ring is the canonical out-degree-1 instance; internal/topo
+// provides multi-port instances (bidirectional rings, tori, trees).
+type Topology interface {
+	// Size returns n, the number of nodes.
+	Size() int
+	// Degree returns the out-degree of v (the number of ports).
+	Degree(v ring.NodeID) int
+	// Neighbor returns the head of v's port-th outgoing link. It is
+	// consulted only for 0 <= port < Degree(v).
+	Neighbor(v ring.NodeID, port int) ring.NodeID
+}
+
+// edgeTable is the engine's flattened, validated form of a Topology:
+// every directed edge gets a dense id ordered by (source, port), and a
+// *rank* — its position in the arrival ordering the schedulers are
+// specified against: edges sorted by (destination, edge id) ascending.
+// On an in-degree-1 topology (the unidirectional ring) rank r is
+// exactly the single edge toward node r, which keeps the enabled-choice
+// order — and therefore every golden trace — identical to the
+// pre-topology engine.
+//
+// The engine's link FIFOs and enabled-choice scan are indexed by rank,
+// so the hot loop reads rank-parallel arrays with no eid indirection;
+// edge ids appear only on the move path (source-port arithmetic) and
+// are translated via rank[] once per move.
+type edgeTable struct {
+	n     int
+	start []int32 // per node: first out-edge id (len n+1; prefix sums)
+	dest  []int32 // per edge id: destination node
+	rank  []int32 // per edge id: arrival rank
+	// Rank-parallel views of the edge set, hot-loop friendly.
+	rankDest []int32 // per rank: destination node
+	rankRev  []int32 // per rank, for edge u->v: port at v back to u, or -1
+}
+
+// buildEdgeTable materializes and validates a Topology.
+func buildEdgeTable(t Topology) (*edgeTable, error) {
+	n := t.Size()
+	if n < 1 {
+		return nil, fmt.Errorf("%w: topology size %d", ErrBadSetup, n)
+	}
+	et := &edgeTable{n: n, start: make([]int32, n+1)}
+	m := 0
+	for v := 0; v < n; v++ {
+		d := t.Degree(ring.NodeID(v))
+		if d < 0 {
+			return nil, fmt.Errorf("%w: node %d has out-degree %d", ErrBadSetup, v, d)
+		}
+		et.start[v] = int32(m)
+		m += d
+	}
+	et.start[n] = int32(m)
+	et.dest = make([]int32, m)
+	for v := 0; v < n; v++ {
+		for p := 0; int32(p) < et.start[v+1]-et.start[v]; p++ {
+			w := t.Neighbor(ring.NodeID(v), p)
+			if w < 0 || int(w) >= n {
+				return nil, fmt.Errorf("%w: neighbor(%d, %d) = %d out of range", ErrBadSetup, v, p, w)
+			}
+			et.dest[et.start[v]+int32(p)] = int32(w)
+		}
+	}
+	// Arrival ranks: counting sort of edges by (dest, edge id).
+	inDeg := make([]int32, n+1)
+	for _, w := range et.dest {
+		inDeg[w+1]++
+	}
+	for v := 0; v < n; v++ {
+		inDeg[v+1] += inDeg[v]
+	}
+	et.rank = make([]int32, m)
+	et.rankDest = make([]int32, m)
+	et.rankRev = make([]int32, m)
+	fill := append([]int32(nil), inDeg[:n]...)
+	for e := 0; e < m; e++ {
+		w := et.dest[e]
+		r := fill[w]
+		fill[w]++
+		et.rank[e] = r
+		et.rankDest[r] = w
+	}
+	// Reverse ports: for edge u->v, the port at v whose head is u (the
+	// first such port when parallel links exist). -1 when v has no link
+	// back to u (e.g. the unidirectional ring for n > 1).
+	for u := 0; u < n; u++ {
+		for e := et.start[u]; e < et.start[u+1]; e++ {
+			v := et.dest[e]
+			rev := int32(-1)
+			for q := et.start[v]; q < et.start[v+1]; q++ {
+				if et.dest[q] == int32(u) {
+					rev = q - et.start[v]
+					break
+				}
+			}
+			et.rankRev[et.rank[e]] = rev
+		}
+	}
+	return et, nil
+}
+
+// edges returns the number of directed edges.
+func (et *edgeTable) edges() int { return len(et.dest) }
+
+// outDegree returns the out-degree of v.
+func (et *edgeTable) outDegree(v ring.NodeID) int {
+	return int(et.start[v+1] - et.start[v])
+}

@@ -28,8 +28,11 @@ type AgentOutcome struct {
 
 // Report is the outcome of one Run.
 type Report struct {
-	// Algorithm and configuration echo.
+	// Algorithm and configuration echo. Topology names the substrate
+	// the run executed on ("ring(36)", "biring(36)", "torus(4x8)",
+	// "tree(9 nodes, euler ring 16)").
 	Algorithm Algorithm
+	Topology  string
 	N, K      int
 	// SymmetryDegree is the l of the *initial* configuration.
 	SymmetryDegree int
@@ -65,10 +68,22 @@ type Report struct {
 	Trace string
 }
 
+// topologyName names a Config's substrate for report echoes.
+func topologyName(cfg Config) string {
+	if cfg.Topology != nil {
+		return cfg.Topology.String()
+	}
+	return fmt.Sprintf("ring(%d)", cfg.N)
+}
+
 // Summary renders a one-paragraph human-readable account of the run.
 func (r Report) Summary() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s on n=%d k=%d (symmetry degree %d): ", r.Algorithm, r.N, r.K, r.SymmetryDegree)
+	where := fmt.Sprintf("n=%d", r.N)
+	if r.Topology != "" && !strings.HasPrefix(r.Topology, "ring(") {
+		where = r.Topology
+	}
+	fmt.Fprintf(&b, "%s on %s k=%d (symmetry degree %d): ", r.Algorithm, where, r.K, r.SymmetryDegree)
 	if r.Uniform {
 		fmt.Fprintf(&b, "uniform deployment reached (gaps %v). ", r.Gaps)
 	} else {
@@ -86,6 +101,7 @@ func (r Report) Summary() string {
 func buildReport(alg Algorithm, cfg Config, res sim.Result, trace *sim.Trace) Report {
 	rep := Report{
 		Algorithm:         alg,
+		Topology:          topologyName(cfg),
 		N:                 cfg.N,
 		K:                 len(cfg.Homes),
 		TotalMoves:        res.TotalMoves,

@@ -68,29 +68,30 @@ type TreeReport struct {
 
 // RunOnTree deploys the agents starting at the given distinct tree
 // nodes using the chosen ring algorithm on the Euler-tour virtual ring
-// rooted at root. The Config's N and Homes fields are ignored (derived
-// from the embedding); all other options apply.
+// rooted at root. The virtual ring is passed to the engine as a
+// first-class topology (NewTreeTopology), so the run flows through the
+// same substrate layer as every other network shape. The Config's N,
+// Topology and Homes fields are ignored (derived from the embedding);
+// all other options apply.
 func RunOnTree(alg Algorithm, t *Tree, root int, agentNodes []int, cfg Config) (TreeReport, error) {
-	if t == nil || t.inner == nil {
-		return TreeReport{}, fmt.Errorf("%w: nil tree", ErrConfig)
-	}
-	emb, err := embed.NewEmbedding(t.inner, root)
+	topo, err := NewTreeTopology(t, root)
 	if err != nil {
-		return TreeReport{}, fmt.Errorf("%w: %v", ErrConfig, err)
+		return TreeReport{}, err
 	}
-	homes, err := emb.VirtualHomes(agentNodes)
+	homes, err := topo.TreeHomes(agentNodes)
 	if err != nil {
-		return TreeReport{}, fmt.Errorf("%w: %v", ErrConfig, err)
+		return TreeReport{}, err
 	}
-	cfg.N = emb.RingSize()
+	cfg.N = 0
+	cfg.Topology = topo
 	cfg.Homes = homes
 	ringReport, err := Run(alg, cfg)
 	if err != nil {
 		return TreeReport{}, err
 	}
-	treePos, err := emb.TreePositions(ringReport.Positions)
+	treePos, err := topo.TreeNodes(ringReport.Positions)
 	if err != nil {
-		return TreeReport{}, fmt.Errorf("%w: %v", ErrConfig, err)
+		return TreeReport{}, err
 	}
 	worst, mean, err := t.inner.Coverage(dedup(treePos))
 	if err != nil {
@@ -98,7 +99,7 @@ func RunOnTree(alg Algorithm, t *Tree, root int, agentNodes []int, cfg Config) (
 	}
 	return TreeReport{
 		Ring:            ringReport,
-		VirtualRingSize: emb.RingSize(),
+		VirtualRingSize: topo.Size(),
 		TreePositions:   treePos,
 		WorstCoverage:   worst,
 		MeanCoverage:    mean,

@@ -1,0 +1,145 @@
+package agentring_test
+
+import (
+	"reflect"
+	"testing"
+
+	"agentring"
+	"agentring/internal/embed"
+)
+
+// pruferDecode turns a Prüfer sequence over nodes 0..m-1 into the edge
+// list of the labeled tree it encodes (m >= 2; the sequence has length
+// m-2).
+func pruferDecode(m int, seq []int) [][2]int {
+	degree := make([]int, m)
+	for i := range degree {
+		degree[i] = 1
+	}
+	for _, v := range seq {
+		degree[v]++
+	}
+	edges := make([][2]int, 0, m-1)
+	for _, v := range seq {
+		for leaf := 0; leaf < m; leaf++ {
+			if degree[leaf] == 1 {
+				edges = append(edges, [2]int{leaf, v})
+				degree[leaf]--
+				degree[v]--
+				break
+			}
+		}
+	}
+	u, w := -1, -1
+	for v := 0; v < m; v++ {
+		if degree[v] == 1 {
+			if u == -1 {
+				u = v
+			} else {
+				w = v
+			}
+		}
+	}
+	return append(edges, [2]int{u, w})
+}
+
+// forEachTree enumerates every labeled tree on m nodes via Prüfer
+// sequences (m^(m-2) of them) and calls fn with its edge list.
+func forEachTree(m int, fn func(edges [][2]int)) {
+	if m == 2 {
+		fn([][2]int{{0, 1}})
+		return
+	}
+	seq := make([]int, m-2)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(seq) {
+			fn(pruferDecode(m, seq))
+			return
+		}
+		for v := 0; v < m; v++ {
+			seq[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+// TestRunOnTreeCrossValidatesEulerPath cross-validates the two tree
+// deployment paths on *every* tree with at most 6 nodes (1 + 3 + 16 +
+// 125 + 1296 labeled trees): the historical Euler-tour path (embed the
+// tree by hand and run the algorithm on an explicit unidirectional ring
+// of 2(m-1) nodes) against the topology path RunOnTree now takes
+// (NewTreeTopology through the engine's substrate layer). Positions,
+// step counts, move totals, and uniformity must agree exactly.
+func TestRunOnTreeCrossValidatesEulerPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("enumerates 1441 trees")
+	}
+	trees := 0
+	for m := 2; m <= 6; m++ {
+		forEachTree(m, func(edges [][2]int) {
+			trees++
+			// Two agents at the extreme labels, plus a mid node when the
+			// tree is big enough for three.
+			agents := []int{0, m - 1}
+			if m >= 5 {
+				agents = []int{0, m / 2, m - 1}
+			}
+
+			// Path 1 (historical): hand-built Euler embedding, explicit
+			// unidirectional ring.
+			et, err := embed.NewTree(m, edges)
+			if err != nil {
+				t.Fatalf("tree %v: %v", edges, err)
+			}
+			emb, err := embed.NewEmbedding(et, 0)
+			if err != nil {
+				t.Fatalf("tree %v: %v", edges, err)
+			}
+			virtualHomes, err := emb.VirtualHomes(agents)
+			if err != nil {
+				t.Fatalf("tree %v: %v", edges, err)
+			}
+			manual, err := agentring.Run(agentring.Native, agentring.Config{
+				N: emb.RingSize(), Homes: virtualHomes,
+			})
+			if err != nil {
+				t.Fatalf("tree %v manual euler run: %v", edges, err)
+			}
+
+			// Path 2 (topology layer): RunOnTree end-to-end.
+			tree, err := agentring.NewTree(m, edges)
+			if err != nil {
+				t.Fatalf("tree %v: %v", edges, err)
+			}
+			rep, err := agentring.RunOnTree(agentring.Native, tree, 0, agents, agentring.Config{})
+			if err != nil {
+				t.Fatalf("tree %v RunOnTree: %v", edges, err)
+			}
+
+			if !reflect.DeepEqual(rep.Ring.Positions, manual.Positions) {
+				t.Fatalf("tree %v: topology path positions %v, euler path %v",
+					edges, rep.Ring.Positions, manual.Positions)
+			}
+			if rep.Ring.Steps != manual.Steps || rep.Ring.TotalMoves != manual.TotalMoves {
+				t.Fatalf("tree %v: steps/moves %d/%d vs %d/%d",
+					edges, rep.Ring.Steps, rep.Ring.TotalMoves, manual.Steps, manual.TotalMoves)
+			}
+			if rep.Ring.Uniform != manual.Uniform {
+				t.Fatalf("tree %v: uniform %v vs %v", edges, rep.Ring.Uniform, manual.Uniform)
+			}
+			// The projection must agree with the embedding's own.
+			wantTree, err := emb.TreePositions(manual.Positions)
+			if err != nil {
+				t.Fatalf("tree %v: %v", edges, err)
+			}
+			if !reflect.DeepEqual(rep.TreePositions, wantTree) {
+				t.Fatalf("tree %v: tree positions %v, want %v", edges, rep.TreePositions, wantTree)
+			}
+		})
+	}
+	if trees != 1+3+16+125+1296 {
+		t.Errorf("enumerated %d trees, want 1441", trees)
+	}
+}
