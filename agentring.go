@@ -141,6 +141,14 @@ type Config struct {
 	Timeout time.Duration
 	// MaxSteps bounds the number of atomic actions (0 = automatic).
 	MaxSteps int
+	// Faults schedules link failures and repairs, making the topology
+	// dynamic: each event fails or restores one directed edge between
+	// atomic actions (see FaultEvent for the frozen-FIFO semantics and
+	// ParseFaults for the command-line syntax). Empty means the static
+	// topology of the paper. Run and Explore honour fault schedules;
+	// RunConcurrent's message-passing substrate does not and rejects
+	// configurations that carry one.
+	Faults []FaultEvent
 	// TraceCapacity, if positive, records up to that many execution
 	// events into Report.Trace.
 	TraceCapacity int
@@ -204,6 +212,7 @@ func Run(alg Algorithm, cfg Config) (Report, error) {
 		Scheduler: sched,
 		MaxSteps:  cfg.MaxSteps,
 		Trace:     trace,
+		Faults:    faultSchedule(cfg.Faults),
 	})
 	if err != nil {
 		return Report{}, fmt.Errorf("%w: %v", ErrConfig, err)

@@ -13,6 +13,13 @@
 //	explore -n 8 -homes 0,1,2,3,4 -alg naive # Theorem 5 counterexample
 //	explore -n 5 -all -alg logspace          # every placement of the 5-ring
 //	explore -n 6 -k 2 -json                  # machine-readable report
+//	explore -n 4 -k 2 -faults 1:2:down,9:2:up # dynamic ring: link fails, recovers
+//	explore -n 4 -k 2 -faults permanent       # never repaired: finds the frozen-agent schedule
+//
+// -faults attaches a link failure/repair timeline (a named DynRing plan
+// — transient | churn | permanent — or a raw
+// "STEP:FROM[/PORT]:down|up,..." schedule) to every exploration: the
+// checker then enumerates all agent interleavings around that timeline.
 //
 // The process exits non-zero when any exploration finds a
 // counterexample, so CI scripting can rely on the exit code.
@@ -46,6 +53,7 @@ func run(args []string, out io.Writer) error {
 		algName  = fs.String("alg", "native", "algorithm: native | native-n | logspace | relaxed | naive | firstfit | binative")
 		topoSpec = fs.String("topology", "ring", "substrate: ring | biring | torus=RxC | tree=<edge list>")
 		homesCSV = fs.String("homes", "", "comma-separated home nodes (overrides -k)")
+		faultStr = fs.String("faults", "", "fault plan: transient | churn | permanent | raw spec (STEP:FROM[/PORT]:down|up,...)")
 		all      = fs.Bool("all", false, "explore every initial configuration of the substrate (up to rotation on ring families; ignores -k and -homes)")
 		depth    = fs.Int("depth", 0, "schedule depth bound (0 = default)")
 		states   = fs.Int("states", 0, "distinct-state bound (0 = default)")
@@ -67,8 +75,17 @@ func run(args []string, out io.Writer) error {
 		MaxTotalMoves: *moves,
 	}
 
+	topo, err := agentring.ParseTopology(*topoSpec, *n)
+	if err != nil {
+		return err
+	}
+	faults, err := experiments.ResolveFaults(*faultStr, topo.Size())
+	if err != nil {
+		return err
+	}
+
 	if *all {
-		rows, exploreErr := experiments.ExploreAllOn(alg, *topoSpec, *n, opts)
+		rows, exploreErr := experiments.ExploreAllUnderFaults(alg, *topoSpec, *n, faults, opts)
 		if *jsonFlag {
 			if err := writeJSON(out, rows); err != nil {
 				return err
@@ -79,15 +96,11 @@ func run(args []string, out io.Writer) error {
 		return exploreErr
 	}
 
-	topo, err := agentring.ParseTopology(*topoSpec, *n)
-	if err != nil {
-		return err
-	}
 	homes, err := parseHomes(*homesCSV, topo.Size(), *k)
 	if err != nil {
 		return err
 	}
-	rep, err := agentring.Explore(alg, agentring.Config{Topology: topo, Homes: homes}, opts)
+	rep, err := agentring.Explore(alg, agentring.Config{Topology: topo, Homes: homes, Faults: faults}, opts)
 	if err != nil {
 		return err
 	}
@@ -158,7 +171,11 @@ func printReport(out io.Writer, homes []int, rep agentring.ExploreReport) {
 	case !rep.Complete:
 		cover = fmt.Sprintf("bounded search (%d branches truncated)", rep.Truncated)
 	}
-	fmt.Fprintf(out, "%s on %s homes=%v: %s\n", rep.Algorithm, rep.Topology, homes, cover)
+	where := rep.Topology
+	if rep.Faults != "" {
+		where += " faults=" + rep.Faults
+	}
+	fmt.Fprintf(out, "%s on %s homes=%v: %s\n", rep.Algorithm, where, homes, cover)
 	fmt.Fprintf(out, "  %d states (%d pruned, %d sleep-set skips), %d replays totalling %d steps\n",
 		rep.States, rep.Pruned, rep.SleepSkips, rep.Replays, rep.StepsReplayed)
 	fmt.Fprintf(out, "  %d distinct terminal configuration(s), deepest schedule %d decisions\n",

@@ -20,6 +20,13 @@
 //	sweep -json           # machine-readable rows for trend tracking
 //	sweep -topology biring -alg binative   # bidirectional shortcut grid
 //	sweep -topology torus=8x8              # all algorithms on one torus
+//	sweep -faults transient                # DynRing: links fail and recover
+//
+// -faults attaches a dynamic-topology fault plan to every run: a named
+// DynRing plan (transient | churn | permanent) scaled to each grid
+// size, or a raw schedule ("10:3:down,40:3:up"). The eventually
+// repaired plans must leave every row uniform; the permanent plan
+// documents failure (and exits non-zero like any non-uniform row).
 package main
 
 import (
@@ -45,6 +52,7 @@ func run(args []string, out io.Writer) error {
 	var (
 		algName  = fs.String("alg", "all", "algorithm: native | logspace | relaxed | binative | all")
 		topoSpec = fs.String("topology", "ring", "substrate: ring | biring | torus=RxC | tree=<edge list>")
+		faults   = fs.String("faults", "", "fault plan: transient | churn | permanent | raw spec (STEP:FROM[/PORT]:down|up,...)")
 		seed     = fs.Int64("seed", 1, "base seed")
 		big      = fs.Bool("big", false, "use the larger grid (slower)")
 		chart    = fs.Bool("chart", false, "append ASCII bar charts of total moves (table output only)")
@@ -84,11 +92,11 @@ func run(args []string, out io.Writer) error {
 		ks = fit
 	}
 	withTopology := func(specs []experiments.Spec) []experiments.Spec {
-		if *topoSpec == "ring" {
-			return specs
-		}
 		for i := range specs {
-			specs[i].Topology = *topoSpec
+			if *topoSpec != "ring" {
+				specs[i].Topology = *topoSpec
+			}
+			specs[i].Faults = *faults
 		}
 		return specs
 	}
@@ -150,8 +158,9 @@ func run(args []string, out io.Writer) error {
 					kept = append(kept, s)
 				}
 			}
-			specs = withTopology(kept)
+			specs = kept
 		}
+		specs = withTopology(specs)
 		rows, err := experiments.RunAll(specs, *workers)
 		if err != nil {
 			return err

@@ -28,6 +28,9 @@ func RunConcurrent(alg Algorithm, cfg Config) (Report, error) {
 	if cfg.Topology != nil && cfg.Topology.Kind() != KindRing {
 		return Report{}, fmt.Errorf("%w: the concurrent substrate is ring-only (got %s)", ErrConfig, cfg.Topology)
 	}
+	if len(cfg.Faults) > 0 {
+		return Report{}, fmt.Errorf("%w: the concurrent substrate does not support fault schedules", ErrConfig)
+	}
 	if cfg.Topology != nil {
 		cfg.N = cfg.Topology.Size()
 	}

@@ -1,0 +1,61 @@
+package agentring_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEveryPackageHasPackageDocs is the docs gate: every package in the
+// module — the facade, every internal package, every command, every
+// example — must carry package-level documentation (a doc comment on
+// its package clause in at least one non-test file). New packages fail
+// this test, and therefore CI, until they are documented.
+func TestEveryPackageHasPackageDocs(t *testing.T) {
+	pkgDirs := map[string][]string{} // dir -> non-test .go files
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		pkgDirs[dir] = append(pkgDirs[dir], path)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgDirs) < 20 {
+		t.Fatalf("found only %d package directories; the walk looks broken", len(pkgDirs))
+	}
+	fset := token.NewFileSet()
+	for dir, files := range pkgDirs {
+		documented := false
+		for _, file := range files {
+			f, err := parser.ParseFile(fset, file, nil, parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				t.Errorf("%s: %v", file, err)
+				continue
+			}
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			t.Errorf("package %s has no package documentation: add a doc.go or a doc comment on the package clause", dir)
+		}
+	}
+}

@@ -49,11 +49,14 @@ type ExploreCounterexample struct {
 // ExploreReport is the outcome of one schedule-space exploration.
 type ExploreReport struct {
 	// Algorithm and configuration echo. Topology names the substrate
-	// explored ("ring(6)", "biring(5)", "torus(2x3)", ...).
+	// explored ("ring(6)", "biring(5)", "torus(2x3)", ...); Faults is
+	// the fault schedule explored alongside the agent interleavings, in
+	// ParseFaults syntax (empty for a static topology).
 	Algorithm string `json:"algorithm"`
 	Topology  string `json:"topology"`
 	N         int    `json:"n"`
 	K         int    `json:"k"`
+	Faults    string `json:"faults,omitempty"`
 
 	// States counts distinct global states expanded; Pruned counts
 	// replays that converged onto an already-explored state; SleepSkips
@@ -93,6 +96,14 @@ type ExploreReport struct {
 // ring of Config.N nodes); the partial-order reduction adapts its
 // commutation footprints to the substrate's out-neighbourhoods.
 //
+// Config.Faults makes the substrate dynamic: the search enumerates
+// every agent interleaving around the fixed failure/repair timeline,
+// and a terminal state with agents frozen on a never-repaired link is a
+// counterexample. Step-indexed mutations break action commutativity, so
+// the sleep-set reduction is disabled and state convergence is only
+// recognized between equal-length schedules — fault searches cover the
+// same space with more replays.
+//
 // Config's Scheduler, Seed and TraceCapacity are ignored: the explorer
 // drives scheduling itself.
 func Explore(alg Algorithm, cfg Config, opts ExploreOptions) (ExploreReport, error) {
@@ -118,6 +129,7 @@ func Explore(alg Algorithm, cfg Config, opts ExploreOptions) (ExploreReport, err
 		N:        n,
 		Topology: st,
 		Homes:    homes,
+		Faults:   faultSchedule(cfg.Faults),
 		Programs: func() ([]sim.Program, error) {
 			return buildPrograms(alg, cfg, n, k)
 		},
@@ -136,6 +148,7 @@ func Explore(alg Algorithm, cfg Config, opts ExploreOptions) (ExploreReport, err
 		Topology:          topologyName(cfg),
 		N:                 cfg.N,
 		K:                 k,
+		Faults:            FormatFaults(cfg.Faults),
 		States:            rep.States,
 		Pruned:            rep.Pruned,
 		SleepSkips:        rep.SleepSkips,

@@ -1,0 +1,72 @@
+package agentring_test
+
+import (
+	"reflect"
+	"testing"
+
+	"agentring"
+)
+
+// TestDynamicEngineMatchesGoldenTraces cross-validates the dynamic-edge
+// engine against the static one on the full golden matrix: with an
+// all-links-up fault schedule (every event restores a link that is
+// already up, i.e. a no-op), all 24 algorithm × scheduler combinations
+// must reproduce the static run's positions, step counts, total moves,
+// and the trace byte-for-byte. This pins that the fault plumbing —
+// schedule sorting, the applyDueFaults call per decision point, the
+// down-mask checks in the enabled-choice scan — is invisible until a
+// link actually fails.
+func TestDynamicEngineMatchesGoldenTraces(t *testing.T) {
+	homes := []int{0, 3, 4, 11, 17, 25}
+	const n = 36
+
+	// No-op events scattered across the run, including step 0 and steps
+	// far beyond quiescence, on several distinct edges.
+	allUp := []agentring.FaultEvent{
+		{Step: 0, From: 0, Port: 0, Up: true},
+		{Step: 7, From: 17, Port: 0, Up: true},
+		{Step: 100, From: 35, Port: 0, Up: true},
+		{Step: 1 << 20, From: 5, Port: 0, Up: true},
+	}
+
+	algs := []agentring.Algorithm{
+		agentring.Native, agentring.NativeKnowN, agentring.LogSpace,
+		agentring.Relaxed, agentring.NaiveHalting, agentring.FirstFit,
+	}
+	scheds := []agentring.SchedulerKind{
+		agentring.RoundRobin, agentring.RandomSched, agentring.Synchronous, agentring.Adversarial,
+	}
+	for _, alg := range algs {
+		for _, sched := range scheds {
+			t.Run(alg.String()+"/"+schedName(sched), func(t *testing.T) {
+				cfg := agentring.Config{
+					N: n, Homes: homes, Scheduler: sched, Seed: 7, TraceCapacity: 1 << 20,
+				}
+				static, err := agentring.Run(alg, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Faults = allUp
+				dynamic, err := agentring.Run(alg, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(dynamic.Positions, static.Positions) {
+					t.Errorf("positions = %v, want %v", dynamic.Positions, static.Positions)
+				}
+				if dynamic.Steps != static.Steps {
+					t.Errorf("steps = %d, want %d", dynamic.Steps, static.Steps)
+				}
+				if dynamic.TotalMoves != static.TotalMoves {
+					t.Errorf("total moves = %d, want %d", dynamic.TotalMoves, static.TotalMoves)
+				}
+				if dynamic.Trace != static.Trace {
+					t.Errorf("trace not byte-identical to the static engine's")
+				}
+				if dynamic.Epoch != 0 {
+					t.Errorf("epoch = %d, want 0 (all events no-ops)", dynamic.Epoch)
+				}
+			})
+		}
+	}
+}

@@ -1,13 +1,3 @@
-// Package baseline provides FirstFit, a coordination-free scatter
-// heuristic that ablates away the paper's base-node selection: every
-// agent knows n and k, walks the ring in strides of ⌊n/k⌋ from its own
-// home, and parks at the first stride point where no other agent stays.
-//
-// Because the agents never agree on a common reference node, their
-// stride lattices are mutually shifted and exact uniform deployment is
-// achieved only by luck. The experiments use it to show that the hard
-// part of the problem is electing the common base, not walking to
-// evenly spaced targets.
 package baseline
 
 import (

@@ -1,0 +1,19 @@
+// Package baseline provides the ablation baselines the experiments
+// compare the paper's algorithms against.
+//
+// FirstFit is a coordination-free scatter heuristic that ablates away
+// the paper's base-node selection: every agent knows n and k, walks the
+// ring in strides of ⌊n/k⌋ from its own home, and parks at the first
+// stride point where no other agent stays. Because the agents never
+// agree on a common reference node, their stride lattices are mutually
+// shifted and exact uniform deployment is achieved only by luck — the
+// experiments use it to show that the hard part of the problem is
+// electing the common base, not walking to evenly spaced targets
+// (baseline_test.go quantifies the failure rate).
+//
+// The token-less baseline (notoken.go) ablates the tokens instead:
+// agents that cannot mark nodes have no way to break the ring's
+// anonymity — under synchronous scheduling the configuration only ever
+// rotates rigidly — pinning the model's Section 2 remark that the
+// indelible token is load-bearing (notoken_test.go).
+package baseline

@@ -1,23 +1,3 @@
-// Package core implements the paper's three uniform-deployment
-// algorithms for asynchronous unidirectional rings:
-//
-//   - Algorithm 1 (Section 3.1): agents with knowledge of k (or n),
-//     termination detection, O(k log n) memory, O(n) time, O(kn) moves.
-//   - Algorithms 2+3 (Section 3.2): agents with knowledge of k,
-//     termination detection, O(log n) memory, O(n log k) time, O(kn)
-//     moves, via cooperative base-node selection.
-//   - Algorithms 4–6 (Section 4.2): agents with no knowledge of k or n,
-//     relaxed uniform deployment without termination detection,
-//     O((k/l) log(n/l)) memory, O(n/l) time, O(kn/l) moves for symmetry
-//     degree l.
-//
-// It also provides NaiveEstimator, a deliberately unsound
-// estimate-then-halt algorithm used to replay the Theorem 5
-// impossibility construction empirically.
-//
-// All programs are anonymous: they never see node or agent identifiers,
-// only tokens, co-located agents, and messages, exactly as the model
-// allows.
 package core
 
 import (

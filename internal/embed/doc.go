@@ -1,0 +1,33 @@
+// Package embed implements the ring-embedding extension the paper
+// sketches as future work (Section 5): uniform deployment on tree
+// networks by running the ring algorithms on the virtual ring induced
+// by an Euler tour.
+//
+// An agent that traverses a tree depth-first visits 2(n-1) directed
+// edges and can treat the traversal as a unidirectional ring of 2(n-1)
+// virtual nodes; the paper notes the total moves on the embedded ring
+// and on the original network are asymptotically equivalent. General
+// graphs reduce to trees via a spanning tree (SpanningTree).
+//
+// # Topology adaptors
+//
+// Two sim.Topology views are exported:
+//
+//   - Embedding.RingTopology: the Euler virtual ring itself, an
+//     out-degree-1 substrate whose node order is tour order, so ring
+//     algorithms (and the ring uniformity predicate) apply verbatim;
+//   - Tree.Topology: the *native* multi-port tree, one port per
+//     incident edge in adjacency order, for port-local traversal
+//     workloads (a rotor walker — "leave via the port after the one you
+//     arrived by" — realizes the Euler tour through the real engine;
+//     internal/sim's TestRotorWalkTraversesTreeEulerCircuit pins the
+//     equivalence).
+//
+// # Invariants
+//
+// Euler tours visit every directed edge exactly once and return to the
+// root (TestEulerTourProperties); VirtualHomes/TreePositions round-trip
+// (TestEmbeddingRoundTrip); the root cross-validation suite
+// (tree_crossvalidate_test.go) checks RunOnTree against a manually
+// computed Euler path on every tree with <= 6 nodes.
+package embed

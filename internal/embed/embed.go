@@ -1,13 +1,3 @@
-// Package embed implements the ring-embedding extension the paper
-// sketches as future work (Section 5): uniform deployment on tree
-// networks by running the ring algorithms on the virtual ring induced
-// by an Euler tour.
-//
-// An agent that traverses a tree depth-first visits 2(n-1) directed
-// edges and can treat the traversal as a unidirectional ring of 2(n-1)
-// virtual nodes; the paper notes the total moves on the embedded ring
-// and on the original network are asymptotically equivalent. General
-// graphs reduce to trees via a spanning tree.
 package embed
 
 import (

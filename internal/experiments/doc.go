@@ -1,0 +1,38 @@
+// Package experiments contains the harness that regenerates every
+// table and figure claim of the paper and drives the scaling and
+// robustness studies grown on top of it. It is shared by the cmd/
+// tools (sweep, explore, lowerbound) and the root bench tests.
+//
+// # Workload families
+//
+//   - Spec / Run / RunAll: one measured run per Spec — algorithm,
+//     (n, k), workload placement (random, clustered, uniform,
+//     periodic), scheduler, substrate (Spec.Topology, a
+//     agentring.ParseTopology spec), and, since the dynamic-topology
+//     layer, a fault plan (Spec.Faults). RunAll executes across
+//     agentring.RunBatch's bounded worker pool with deterministic,
+//     input-ordered rows.
+//   - Table1Specs / Table1Sweep, DegreeSpecs / DegreeSweep: the paper's
+//     Table 1 grids (shape-checked by shape_test.go: O(n) time for
+//     Algorithm 1, O(n log k) for 2+3, 1/l adaptivity for the relaxed
+//     algorithm).
+//   - DynRingSpecs / DynRingSweep (dynring.go): the dynamic-ring family
+//     — named fault plans (transient, churn, permanent) resolved
+//     against each grid size by ResolveFaults. The eventually-repaired
+//     plans must leave every row uniform; the permanent plan documents
+//     blocked deployments.
+//   - ExploreAll / ExploreAllOn / ExploreAllUnderFaults: exhaustive
+//     schedule-space sweeps over every initial placement, deduplicated
+//     up to rotation exactly when that is sound (rotation-symmetric
+//     substrates, no faults — a fault schedule names a concrete edge
+//     and breaks the symmetry).
+//
+// # Invariants
+//
+// LowerBound checks measured moves against the Theorem 1 kn/16 floor;
+// FitLinear/Correlation are the shape-checking helpers the tests use to
+// verify that measured complexities grow as predicted rather than
+// asserting constants. JSON output (json.go) is the stable machine
+// shape for trend tracking; FormatRows/FormatExploreRows the aligned
+// human tables.
+package experiments

@@ -1,7 +1,3 @@
-// Package experiments contains the harness that regenerates every
-// table and figure claim of the paper (see DESIGN.md's per-experiment
-// index and EXPERIMENTS.md for the recorded outcomes). It is shared by
-// the cmd/ tools and the root bench_test.go.
 package experiments
 
 import (
@@ -35,6 +31,11 @@ type Spec struct {
 	// "biring", "torus=RxC", "tree=<edges>"). For fixed-size specs
 	// (torus, tree) N must equal the substrate size.
 	Topology string
+	// Faults makes the substrate dynamic: a named DynRing plan
+	// (transient | churn | permanent, resolved against the substrate
+	// size by ResolveFaults) or a raw agentring.ParseFaults spec. Empty
+	// means the static topology.
+	Faults string
 }
 
 // Row is one measured table row.
@@ -85,6 +86,17 @@ func (s Spec) Config() (agentring.Config, error) {
 			return agentring.Config{}, err
 		}
 		cfg.Topology = topo
+	}
+	if s.Faults != "" {
+		size := cfg.N
+		if cfg.Topology != nil {
+			size = cfg.Topology.Size()
+		}
+		faults, err := ResolveFaults(s.Faults, size)
+		if err != nil {
+			return agentring.Config{}, err
+		}
+		cfg.Faults = faults
 	}
 	return cfg, nil
 }

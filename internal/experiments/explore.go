@@ -61,6 +61,16 @@ func ExploreAll(alg agentring.Algorithm, n int, opts agentring.ExploreOptions) (
 // exactly for the rotation-symmetric substrates (ring, biring); for
 // tori and trees every placement is explored.
 func ExploreAllOn(alg agentring.Algorithm, topology string, n int, opts agentring.ExploreOptions) ([]ExploreRow, error) {
+	return ExploreAllUnderFaults(alg, topology, n, nil, opts)
+}
+
+// ExploreAllUnderFaults is ExploreAllOn with a fault schedule attached
+// to every exploration: each placement's schedule space is enumerated
+// around the same fixed failure/repair timeline. Note that a non-empty
+// schedule breaks the rotation symmetry the ring-family deduplication
+// relies on (the failed edge names a concrete node), so placements are
+// then enumerated exhaustively on every substrate.
+func ExploreAllUnderFaults(alg agentring.Algorithm, topology string, n int, faults []agentring.FaultEvent, opts agentring.ExploreOptions) ([]ExploreRow, error) {
 	topo, err := agentring.ParseTopology(topology, n)
 	if err != nil {
 		return nil, err
@@ -74,7 +84,7 @@ func ExploreAllOn(alg agentring.Algorithm, topology string, n int, opts agentrin
 		return nil, fmt.Errorf("substrate %s has %d nodes; exhaustive placement enumeration is capped at %d", topo, n, maxAllNodes)
 	}
 	var placements [][]int
-	if topo.Kind() == agentring.KindRing || topo.Kind() == agentring.KindBiRing {
+	if len(faults) == 0 && (topo.Kind() == agentring.KindRing || topo.Kind() == agentring.KindBiRing) {
 		placements = AllPlacements(n)
 	} else {
 		for mask := 1; mask < 1<<n; mask++ {
@@ -89,7 +99,7 @@ func ExploreAllOn(alg agentring.Algorithm, topology string, n int, opts agentrin
 	}
 	rows := make([]ExploreRow, 0, len(placements))
 	for _, homes := range placements {
-		rep, err := agentring.Explore(alg, agentring.Config{Topology: topo, Homes: homes}, opts)
+		rep, err := agentring.Explore(alg, agentring.Config{Topology: topo, Homes: homes, Faults: faults}, opts)
 		if err != nil {
 			return rows, fmt.Errorf("explore %s on %s homes=%v: %w", alg, topo, homes, err)
 		}

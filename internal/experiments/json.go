@@ -14,6 +14,7 @@ type jsonRow struct {
 	K              int    `json:"k"`
 	Workload       string `json:"workload"`
 	Degree         int    `json:"degree,omitempty"`
+	Faults         string `json:"faults,omitempty"`
 	Seed           int64  `json:"seed"`
 	SymmetryDegree int    `json:"symmetry_degree"`
 	Uniform        bool   `json:"uniform"`
@@ -36,6 +37,7 @@ func WriteJSON(w io.Writer, rows []Row) error {
 			K:              r.K,
 			Workload:       string(r.Workload),
 			Degree:         r.Degree,
+			Faults:         r.Faults,
 			Seed:           r.Seed,
 			SymmetryDegree: r.SymmetryDegree,
 			Uniform:        r.Uniform,

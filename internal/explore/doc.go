@@ -1,0 +1,74 @@
+// Package explore is a bounded model checker for the simulation
+// engine's schedule space. The paper's claims are universally
+// quantified over asynchronous schedules — uniform deployment must hold
+// under *every* fair interleaving, and the Theorem 5 impossibility says
+// some schedule defeats any estimate-then-halt strategy — so sampling a
+// handful of schedulers is not evidence. This package enumerates the
+// schedule tree itself.
+//
+// # Search structure
+//
+// A node of the tree is a prefix of scheduling decisions (indices into
+// the engine's deterministic enabled-choice order). Expanding a node
+// replays the prefix from the initial configuration on a fresh engine
+// under a sim.Controlled scheduler, which stops exactly at the next
+// decision point and reports the enabled set there. The search is a DFS
+// over prefixes with two reductions:
+//
+//   - canonical-state caching: every replayed prefix is hashed into a
+//     canonical state key (sim.Configuration.Key over the visible
+//     configuration plus the per-agent observation-history hashes that
+//     Options.TrackState maintains), and a state already explored at
+//     the same or shallower depth with the same or fewer suppressed
+//     transitions is pruned — converged branches are never re-expanded;
+//   - a sleep-set-style partial-order reduction: two enabled actions
+//     commute when their footprints — the acting node and its full
+//     out-neighbourhood, the only nodes an atomic action can read or
+//     write — are disjoint, and commuting reorderings of
+//     already-explored siblings are skipped.
+//
+// # Soundness
+//
+// The footprint is computed from the Setup's Topology, so the sleep-set
+// reduction stays sound on multi-port graphs (bidirectional rings,
+// tori, trees), not just the unidirectional ring it was first written
+// for: an action at u can push onto *any* out-edge of u, so u and w
+// must never be classified independent when any port links them.
+// TestSleepSetSoundOnMultiPort regression-checks the reduction against
+// a reduction-free reference search; TestReductionConsistency does the
+// same on the ring, and TestExhaustiveCleanAlgorithms proves the
+// paper's algorithms counterexample-free with full coverage on every
+// small-ring placement.
+//
+// # Dynamic topologies (fault schedules)
+//
+// Setup.Faults attaches a link failure/repair timeline applied
+// identically in every replay, so the checker enumerates all agent
+// interleavings around a fixed fault schedule. Because fault steps are
+// indexed by atomic-action count (== decision depth), two of the static
+// search's assumptions fail, and the search compensates:
+//
+//   - executing any action may fire a mutation that disables an
+//     otherwise-commuting sibling, so the sleep-set reduction is
+//     unsound and is forced off;
+//   - a configuration's future depends on the pending fault suffix,
+//     i.e. on the depth, so cache keys additionally fold the depth and
+//     convergence is only recognized between equal-length prefixes.
+//
+// A quiescent terminal with agents frozen on a never-repaired link
+// fails the default property ("frozen in transit"), which is how a
+// permanent failure surfaces as a counterexample.
+// TestExploreTransientFaultNativeDeploys and
+// TestExplorePermanentFaultCounterexampleReplays pin both directions,
+// including replayability of the reported schedule.
+//
+// # Verdicts
+//
+// Terminal (quiescent) states are checked against the property (default:
+// empty links + uniform deployment); the first violating terminal,
+// agent failure, step-limit overrun, or move-bound overrun becomes the
+// reported counterexample, with the full decision schedule that reaches
+// it. A Report with Complete == true and no counterexample is a
+// mechanically checked proof over the entire schedule space of that
+// initial configuration.
+package explore

@@ -1,37 +1,3 @@
-// Package explore is a bounded model checker for the simulation
-// engine's schedule space. The paper's claims are universally
-// quantified over asynchronous schedules — uniform deployment must hold
-// under *every* fair interleaving, and the Theorem 5 impossibility says
-// some schedule defeats any estimate-then-halt strategy — so sampling a
-// handful of schedulers is not evidence. This package enumerates the
-// schedule tree itself.
-//
-// A node of the tree is a prefix of scheduling decisions (indices into
-// the engine's deterministic enabled-choice order). Expanding a node
-// replays the prefix from the initial configuration on a fresh engine
-// under a sim.Controlled scheduler, which stops exactly at the next
-// decision point and reports the enabled set there. The search is a DFS
-// over prefixes with two reductions:
-//
-//   - canonical-state caching: every replayed prefix is hashed into a
-//     canonical state key (sim.Configuration.Key over the visible
-//     configuration plus the per-agent observation-history hashes that
-//     Options.TrackState maintains), and a state already explored at
-//     the same or shallower depth with the same or fewer suppressed
-//     transitions is pruned — converged branches are never re-expanded;
-//   - a sleep-set-style partial-order reduction: two enabled actions
-//     commute when their footprints — the acting node and its full
-//     out-neighbourhood, the only nodes an atomic action can read or
-//     write — are disjoint, and commuting reorderings of
-//     already-explored siblings are skipped. The footprint is computed
-//     from the Setup's Topology, so the reduction stays sound on
-//     multi-port graphs (bidirectional rings, tori, trees), not just
-//     the unidirectional ring it was first written for.
-//
-// Terminal (quiescent) states are checked against the uniform
-// deployment predicate; the first non-uniform terminal, agent failure,
-// step-limit overrun, or move-bound overrun becomes the reported
-// counterexample, with the full decision schedule that reaches it.
 package explore
 
 import (
@@ -72,6 +38,24 @@ type Setup struct {
 	// ring. Topologies must be immutable: one value is shared across
 	// every replay. N is ignored (derived) when Topology is set.
 	Topology sim.Topology
+	// Faults schedules link mutations applied identically in every
+	// replay (sim.Options.Faults), so the checker enumerates all agent
+	// interleavings around a fixed failure/repair timeline. Fault steps
+	// are indexed by atomic-action count, which equals the decision
+	// depth, making the schedule a deterministic function of depth — but
+	// that same fact makes two of the static search's assumptions false:
+	//
+	//   - executing any action advances the step count and may fire a
+	//     mutation that disables an otherwise-commuting sibling, so
+	//     action independence (and with it the sleep-set reduction) no
+	//     longer holds; the reduction is forced off when Faults is
+	//     non-empty;
+	//   - a configuration's future depends on the pending fault suffix,
+	//     i.e. on how many actions have executed, not just on the
+	//     visible state; state-cache keys therefore additionally fold
+	//     the depth, so convergence is only recognized between prefixes
+	//     of equal length.
+	Faults sim.FaultSchedule
 	// Property checks a quiescent terminal state, returning "" when it
 	// is acceptable and a human-readable violation otherwise. Nil
 	// selects the paper's predicate: uniform deployment on the n-node
@@ -194,11 +178,25 @@ func Explore(setup Setup, opts Options) (Report, error) {
 	if setup.Property == nil {
 		n := setup.N
 		setup.Property = func(res sim.Result) string {
+			// A quiescent state can hold agents frozen on failed links
+			// that were never repaired; both termination definitions
+			// require empty links, so such terminals are violations (on
+			// a static topology quiescence implies empty queues and this
+			// check never fires).
+			if !res.QueuesEmpty {
+				return "terminal configuration leaves agents frozen in transit on failed links"
+			}
 			if why := verify.ExplainNonUniform(n, res.Positions()); why != "" {
 				return "terminal configuration not uniform: " + why
 			}
 			return ""
 		}
+	}
+	if len(setup.Faults) > 0 {
+		// See Setup.Faults: step-indexed mutations break action
+		// independence across siblings, so only depth-keyed state
+		// caching remains sound.
+		opts.DisableReduction = true
 	}
 	x := &explorer{
 		setup:     setup,
@@ -260,6 +258,7 @@ func (x *explorer) replay(prefix []int) (*sim.Controlled, sim.Result, uint64, er
 	eng, err := sim.NewEngine(x.setup.Topology, x.setup.Homes, programs, sim.Options{
 		Scheduler:  ctrl,
 		MaxSteps:   x.opts.MaxSteps,
+		Faults:     x.setup.Faults,
 		TrackState: true,
 	})
 	if err != nil {
@@ -327,6 +326,12 @@ func (x *explorer) dfs(prefix []int, sleep map[int]sim.Choice, parallel bool) er
 		return err
 	}
 	depth := len(prefix)
+	if len(x.setup.Faults) > 0 {
+		// With faults, the pending mutation suffix is a function of the
+		// depth; fold it into the key so only equal-length prefixes can
+		// converge (see Setup.Faults).
+		key = mix64(key ^ (uint64(depth) + 1))
+	}
 
 	// Check the move bound before caching: move counts are path-dependent
 	// (excluded from the state key), so the check must see every replayed
@@ -465,6 +470,17 @@ func (x *explorer) dfs(prefix []int, sleep map[int]sim.Choice, parallel bool) er
 		}
 	}
 	return firstErr
+}
+
+// mix64 finalizes a 64-bit value with the splitmix64 avalanche, used to
+// separate depth-tagged cache keys from the raw configuration keys.
+func mix64(v uint64) uint64 {
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return v
 }
 
 // footprints precomputes, for every node v, the bitset {v} ∪ outN(v).

@@ -1,0 +1,178 @@
+package explore
+
+import (
+	"slices"
+	"strings"
+	"testing"
+
+	"agentring/internal/ring"
+	"agentring/internal/sim"
+)
+
+// TestExploreTransientFaultNativeDeploys: Algorithm 1 still deploys
+// uniformly under an eventually-repaired single-link failure, checked
+// over the *complete* schedule space of a small ring placement. The
+// repair lands late (step 12) so schedules exist where agents pile up
+// frozen behind the cut.
+func TestExploreTransientFaultNativeDeploys(t *testing.T) {
+	rep, err := Explore(Setup{
+		N:        4,
+		Homes:    []ring.NodeID{0, 1},
+		Programs: alg1Factory(2),
+		Faults: sim.FaultSchedule{
+			{Step: 1, From: 2, Port: 0, Up: false},
+			{Step: 12, From: 2, Port: 0, Up: true},
+		},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Counterexample != nil {
+		t.Fatalf("counterexample under eventually-repaired fault:\n%s", rep.Counterexample)
+	}
+	if !rep.Complete {
+		t.Fatalf("search incomplete: %+v", rep)
+	}
+	if rep.SleepSkips != 0 {
+		t.Errorf("sleep-set reduction ran under faults (%d skips); it must be disabled", rep.SleepSkips)
+	}
+}
+
+// TestExplorePermanentFaultCounterexampleReplays: when the link never
+// recovers, the explorer reports a frozen-agent terminal — and the
+// counterexample must be *replayable*: driving a fresh engine through
+// the recorded decision prefix under the same fault schedule reaches
+// exactly the reported failing state.
+func TestExplorePermanentFaultCounterexampleReplays(t *testing.T) {
+	faults := sim.FaultSchedule{{Step: 1, From: 2, Port: 0, Up: false}}
+	setup := Setup{
+		N:        4,
+		Homes:    []ring.NodeID{0, 1},
+		Programs: alg1Factory(2),
+		Faults:   faults,
+	}
+	rep, err := Explore(setup, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cex := rep.Counterexample
+	if cex == nil {
+		t.Fatal("no counterexample with a permanently failed link")
+	}
+	if !strings.Contains(cex.Reason, "frozen in transit") {
+		t.Fatalf("reason = %q, want a frozen-in-transit violation", cex.Reason)
+	}
+	if len(cex.Prefix) != len(cex.Schedule) {
+		t.Fatalf("prefix/schedule length mismatch: %d vs %d", len(cex.Prefix), len(cex.Schedule))
+	}
+
+	// Replay the decision prefix on a fresh engine.
+	programs, err := setup.Programs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := sim.NewControlled(cex.Prefix)
+	eng, err := sim.NewEngine(ring.MustNew(4), setup.Homes, programs, sim.Options{
+		Scheduler: ctrl,
+		Faults:    faults,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Quiesced {
+		t.Fatal("replayed prefix did not quiesce")
+	}
+	if res.QueuesEmpty {
+		t.Fatal("replayed terminal has empty queues; expected a frozen agent")
+	}
+	if got := res.Positions(); !slices.Equal(got, cex.Positions) {
+		t.Fatalf("replayed positions = %v, counterexample says %v", got, cex.Positions)
+	}
+	// The recorded schedule must match what the replay actually chose.
+	for i, pick := range cex.Prefix {
+		if got := ctrl.Record[i][pick]; got != cex.Schedule[i] {
+			t.Fatalf("decision %d replayed as %+v, recorded %+v", i, got, cex.Schedule[i])
+		}
+	}
+}
+
+// TestExploreFaultSearchShape pins the deterministic shape of a fault
+// search: two sequential runs must agree exactly, and the statistics
+// are pinned as golden values so any change to the fault search's
+// caching or replay behaviour surfaces here before it can silently
+// alter coverage.
+//
+// A note on the depth-keyed cache this exercises: with TrackState on,
+// two prefixes of *different* lengths are not known to ever produce
+// equal configuration keys (every non-final atomic action folds at
+// least one opcode into the acting agent's history hash, and the final
+// one changes its visible status), so the depth fold in the cache key
+// is a defensive guarantee — the pending fault suffix is a function of
+// depth, and the fold makes cross-depth merging impossible rather than
+// merely unobserved. What *is* observable, and checked in
+// TestExploreTransientFaultNativeDeploys, is that the sleep-set
+// reduction stays off under faults.
+func TestExploreFaultSearchShape(t *testing.T) {
+	// Two independent walkers; the 1 -> 2 edge is down only for a
+	// window in the middle of the run.
+	factory := func() ([]sim.Program, error) {
+		mk := func(steps int) sim.Program {
+			return sim.ProgramFunc(func(api sim.API) error {
+				for i := 0; i < steps; i++ {
+					api.Move()
+				}
+				return nil
+			})
+		}
+		return []sim.Program{mk(2), mk(2)}, nil
+	}
+	setup := Setup{
+		N:        6,
+		Homes:    []ring.NodeID{0, 3},
+		Programs: factory,
+		Faults: sim.FaultSchedule{
+			{Step: 2, From: 1, Port: 0, Up: false},
+			{Step: 5, From: 1, Port: 0, Up: true},
+		},
+		// The walkers' final placement {2, 5} happens to be uniform, but
+		// this test is about search shape, not deployment: accept any
+		// terminal with empty queues (the repair guarantees thawing).
+		Property: func(res sim.Result) string {
+			if !res.QueuesEmpty {
+				return "agents frozen despite repair"
+			}
+			return ""
+		},
+	}
+	first, err := Explore(setup, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Explore(setup, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("fault search not deterministic:\n%+v\nvs\n%+v", first, second)
+	}
+	if first.Counterexample != nil {
+		t.Fatalf("transient fault reported a counterexample:\n%s", first.Counterexample)
+	}
+	want := Report{
+		States:            13,
+		Pruned:            6,
+		Replays:           19,
+		StepsReplayed:     57,
+		Terminals:         1,
+		DistinctTerminals: 1,
+		Deepest:           6,
+		Complete:          true,
+	}
+	if first != want {
+		t.Fatalf("fault search shape drifted:\ngot  %+v\nwant %+v", first, want)
+	}
+}

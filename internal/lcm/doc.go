@@ -1,0 +1,22 @@
+// Package lcm implements the Look-Compute-Move comparison model of the
+// paper's related-work section (Elor & Bruckstein [10]): oblivious
+// agents on a ring with a visibility radius VR, activated
+// semi-synchronously, balancing their gaps locally.
+//
+// The paper positions itself against this model: LCM agents are
+// memoryless but can *see* other agents within VR, whereas the paper's
+// agents have memory and tokens but see only their own node. Two cited
+// claims are reproduced here empirically (lcm_test.go):
+//
+//   - with VR >= floor(n/k), local gap balancing reaches a *balanced*
+//     uniform deployment but without quiescence — agents keep
+//     oscillating while satisfying the spacing condition; and
+//   - with VR < floor(n/k), a blind agent (one that sees nobody) has no
+//     information to act on, and uniform deployment is unreachable from
+//     configurations that keep some agent blind.
+//
+// The package is intentionally small: it is a comparison foil, not a
+// contribution of the reproduced paper, and it does not run on the
+// internal/sim engine (the LCM activation model is synchronous
+// look-compute-move rounds, not atomic FIFO-link actions).
+package lcm

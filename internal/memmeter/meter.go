@@ -1,12 +1,3 @@
-// Package memmeter provides word-level memory accounting for agent
-// algorithms.
-//
-// The paper states per-agent memory bounds in bits (O(k log n), O(log n),
-// O((k/l) log(n/l))). Each stored integer in the model is a "word" of
-// ceil(log2 n) bits, so we meter the peak number of live words an agent
-// keeps and derive the bit count from the word size of the instance. The
-// algorithms in internal/core call Grow/Shrink/Set around their state so
-// the asymptotic claims of Table 1 are measured rather than asserted.
 package memmeter
 
 // Meter tracks the current and peak number of memory words held by one

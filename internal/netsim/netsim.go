@@ -1,27 +1,3 @@
-// Package netsim is a second, independently built substrate for the
-// paper's model: a truly concurrent message-passing implementation in
-// which mobile agents are what they are in practice — messages.
-//
-// Each ring node runs as its own goroutine; each unidirectional link is
-// a FIFO Go channel; an agent is a serialized (encoding/json) state
-// blob that migrates from node to node inside an envelope, exactly the
-// "agents are implemented as messages" realization the paper's model
-// section appeals to. A node executes one resident agent step at a
-// time (the model's atomic action), so per-node serialization plus
-// FIFO links gives the Section 2 semantics while nodes genuinely run
-// in parallel.
-//
-// Quiescence (all agents halted or waiting, no envelope in flight) is
-// detected with a credit-counting scheme in the Dijkstra–Scholten
-// style: every unit of outstanding work (an agent arrival or a wake)
-// increments a global counter before it is enqueued and decrements it
-// after it is fully processed, so the counter reaches zero exactly at
-// global quiescence.
-//
-// netsim exists to cross-validate internal/sim: the deployment
-// algorithms are deterministic functions of the token geometry, so both
-// substrates must produce identical final positions despite completely
-// different concurrency structures (see the cross-validation tests).
 package netsim
 
 import (

@@ -1,16 +1,3 @@
-// Package rendezvous implements the token-based rendezvous algorithm
-// used for the solvability contrast the paper's introduction draws:
-// rendezvous (gathering all agents at one node) requires breaking
-// symmetry and is impossible from periodic initial configurations,
-// whereas uniform deployment — which *attains* symmetry — is solvable
-// from every initial configuration.
-//
-// The algorithm elects the unique base node via the lexicographically
-// minimal rotation of the distance sequence (as in Algorithm 1) and
-// gathers everyone there. When the ring is periodic the minimal
-// rotation is not unique, no single node can be elected by anonymous
-// deterministic agents, and the program reports ErrSymmetric: this is
-// the detectable face of the classical impossibility.
 package rendezvous
 
 import (

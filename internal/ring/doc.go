@@ -1,0 +1,25 @@
+// Package ring models the static substrate of the paper's system model
+// (Section 2.1): an anonymous, unidirectional ring R = (V, E) of n
+// nodes, where each node carries a token count that can only grow
+// (tokens, once released, can never be removed). Agent positions, link
+// FIFO queues, and mailboxes — the dynamic parts of a configuration —
+// live in internal/sim, which drives this substrate.
+//
+// # Role in the topology layer
+//
+// *Ring is the canonical out-degree-1 instance of sim.Topology: node v
+// has the single port 0 toward (v+1) mod n. Every other substrate
+// (internal/topo, internal/embed) is measured against it, and the
+// engine's arrival-rank ordering is defined so that on this ring it
+// reproduces the pre-topology engine bit-for-bit (golden_test.go at the
+// repo root pins that).
+//
+// # Invariants
+//
+// NodeID is the canonical 0..n-1 numbering used across the whole
+// module. Distance and DistanceSequence implement the cyclic geometry
+// the algorithms reason with: DistanceSequence sums to n for any
+// placement (TestDistanceSequenceSumsToN), Forward and Distance are
+// inverse (TestDistanceForwardInverse), and token counts never decrease
+// (TestTokens).
+package ring

@@ -1,9 +1,3 @@
-// Package ring models the static substrate of the paper's system model
-// (Section 2.1): an anonymous, unidirectional ring R = (V, E) of n nodes,
-// where each node carries a token count that can only grow (tokens, once
-// released, can never be removed). Agent positions, link FIFO queues, and
-// mailboxes — the dynamic parts of a configuration — live in internal/sim,
-// which drives this substrate.
 package ring
 
 import (

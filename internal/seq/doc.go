@@ -1,0 +1,22 @@
+// Package seq implements the distance-sequence machinery the paper's
+// algorithms are built on: rotations ("shift" in the paper), the
+// lexicographically minimal rotation (Booth's algorithm, O(n) time),
+// cyclic periodicity, the symmetry degree l of an initial
+// configuration, and the 4-fold-repetition prefix rule used by the
+// estimating phase of the relaxed algorithm (Algorithm 4).
+//
+// Throughout, a distance sequence D = (d_0, ..., d_{k-1}) records the
+// gap from the j-th token node to the (j+1)-th token node around a
+// unidirectional ring; sum(D) = n.
+//
+// # Invariants
+//
+// MinRotation agrees with the brute-force minimum over all rotations
+// (FuzzMinRotation), Period divides the sequence length and is the
+// smallest such divisor (FuzzPeriod), and SymmetryDegree(D) = k /
+// Period(D). The three fuzz targets (fuzz_test.go) run as a CI smoke;
+// align_test.go pins the subsequence-alignment rule against a direct
+// implementation. The algorithms in internal/core call only these
+// functions for their sequence reasoning, so their correctness
+// arguments reduce to the properties checked here.
+package seq

@@ -1,13 +1,3 @@
-// Package seq implements the distance-sequence machinery the paper's
-// algorithms are built on: rotations ("shift" in the paper), the
-// lexicographically minimal rotation (Booth's algorithm, O(n) time),
-// cyclic periodicity, the symmetry degree l of an initial configuration,
-// and the 4-fold-repetition prefix rule used by the estimating phase of
-// the relaxed algorithm (Algorithm 4).
-//
-// Throughout, a distance sequence D = (d_0, ..., d_{k-1}) records the
-// gap from the j-th token node to the (j+1)-th token node around a
-// unidirectional ring; sum(D) = n.
 package seq
 
 // Rotate returns shift(d, x) = (d_x, d_{x+1}, ..., d_{x-1}), the paper's

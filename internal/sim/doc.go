@@ -1,0 +1,81 @@
+// Package sim executes mobile-agent algorithms on an asynchronous
+// message-passing substrate with exactly the semantics of Section 2 of
+// the paper, generalized from the unidirectional ring to any directed
+// Topology and, since the dynamic-topology layer, to edge sets that
+// change over time.
+//
+// # Execution model
+//
+// Each agent runs as a coroutine (iter.Pull) executing a Program
+// against the API; the engine activates exactly one agent at a time via
+// a direct transfer of control, so executions are deterministic given a
+// scheduler, yet the agent code reads like the paper's sequential
+// pseudocode. An activation is one atomic action:
+//
+//  1. the agent arrives at a node (popped from the head of one incoming
+//     FIFO link queue) or is woken while staying at a node,
+//  2. all queued messages are delivered (and any it does not consume
+//     are dropped — "after taking an atomic action, the agent has no
+//     message"),
+//  3. the agent performs local computation (token release, broadcasts
+//     to co-located staying agents), and
+//  4. it either moves (appending itself to the tail of an outgoing FIFO
+//     link), suspends awaiting a message, or halts (its Run returns).
+//
+// # Invariants
+//
+// The engine maintains, and the Auditor (snapshot.go) mechanically
+// checks across snapshots, the model's execution invariants:
+//
+//   - every agent occupies exactly one place (staying at a node or
+//     inside exactly one link queue);
+//   - tokens are indelible (per-node counts never decrease);
+//   - at most one agent moves per atomic action;
+//   - halted agents never change state or position again;
+//   - each per-directed-edge queue evolves only by popping its head or
+//     pushing at its tail (FIFO links), and a *failed* edge's queue
+//     never pops while it stays down (frozen links).
+//
+// The paper's initial-configuration assumption — "the resident acts
+// first at its home" — is enforced explicitly: each agent starts in its
+// home node's incoming buffer and link arrivals into that node are
+// suppressed until the resident's first activation. On in-degree-1
+// substrates this coincides with the node's single link FIFO; on
+// multi-port substrates the explicit buffer is what stops a visitor
+// from slipping past (a violation the schedule explorer found before
+// any human did). TestHomeNodeFirstAction and
+// TestHomeBufferBlocksMultiPortVisitors pin it; TestFIFONoOvertaking
+// and TestPerEdgeQueuesAreIndependent pin the link model.
+//
+// # Performance shape
+//
+// The engine never rescans the topology: the edge set is flattened at
+// construction into rank-indexed dense arrays (topology.go), enabled
+// actions / occupied edges / wakeable agents / per-node occupancy are
+// maintained incrementally, and the choice slice is reused across
+// steps, so the steady-state stepping loop performs no allocation and
+// no Topology interface calls regardless of substrate or size.
+// BenchmarkSteadyState (and its BiRing / Torus / DynRing variants)
+// measure this; the committed BENCH_baseline.json gates regressions.
+//
+// # Dynamic topologies
+//
+// Options.Faults (or Engine.SetEdgeState) fails and repairs individual
+// directed edges between atomic actions. A failed edge freezes its
+// FIFO: the head's arrival leaves the enabled set, pushes still append,
+// nothing is lost, and repair restores the queue intact — see
+// FaultSchedule (faults.go) for the full semantics, including the
+// fast-forward rule that fires pending mutations when no action is
+// enabled. Each effective mutation stamps a new epoch; the edge table
+// itself never rebuilds. faults_test.go covers the semantics;
+// TestDynamicEngineMatchesGoldenTraces (package agentring) proves an
+// all-links-up schedule is byte-identical to the static engine.
+//
+// # Fairness
+//
+// Fairness is the scheduler's contract: every enabled agent must be
+// chosen infinitely often. All schedulers in this package are fair; the
+// adversarial one is fair with the maximum skew its bound allows, and
+// Controlled is the replay primitive the schedule-space explorer
+// (internal/explore) drives.
+package sim

@@ -39,6 +39,12 @@ type Options struct {
 	// O(n + k) to build, so observers are meant for tests and tools, not
 	// hot paths.
 	Observer Observer
+	// Faults schedules link-state mutations applied between atomic
+	// actions, making the edge set dynamic (see FaultSchedule for the
+	// frozen-FIFO semantics of failed links). Events are applied in
+	// Step order; an empty schedule leaves the engine on the static
+	// topology with zero overhead in the stepping loop.
+	Faults FaultSchedule
 	// TrackState, if set, maintains a per-agent canonical hash of the
 	// agent's complete observation history (every value its program read
 	// through the API) and pending mailbox contents, surfaced as
@@ -111,6 +117,13 @@ type agentState struct {
 // O(k). Each step rebuilds the choice slice from these sets into a
 // buffer reused across steps, so the steady-state loop allocates
 // nothing.
+//
+// The edge set can be made dynamic: Options.Faults (or SetEdgeState)
+// fails and repairs individual directed edges between atomic actions,
+// with the frozen-FIFO semantics documented on FaultSchedule. The
+// static tables never rebuild — a failed edge is a lazily allocated
+// per-rank mask bit — so engines without mutations pay only a nil
+// check per occupied edge.
 type Engine struct {
 	et       *edgeTable
 	tokens   []int // per-node indelible token counts (the T component)
@@ -147,6 +160,18 @@ type Engine struct {
 	// steps) enabledChoices takes the init-free fast path.
 	initPending []int32 // per node: resident agent awaiting first activation, -1 if none
 	initNodes   []int   // nodes with a pending resident, ascending
+
+	// Dynamic-edge state. The edge table itself is immutable; a failed
+	// edge is marked in down (indexed by arrival rank, allocated lazily
+	// at the first effective mutation, so static runs never touch it)
+	// and its queue freezes: the head's arrival leaves the enabled set
+	// while pushes still append. epoch counts effective mutations;
+	// faults holds the step-ordered schedule with faultIdx its cursor.
+	down      []bool
+	downCount int
+	epoch     int
+	faults    FaultSchedule
+	faultIdx  int
 
 	steps     int
 	sent      int
@@ -221,6 +246,12 @@ func NewEngine(t Topology, homes []ring.NodeID, programs []Program, opts Options
 		observer: opts.Observer,
 		track:    opts.TrackState,
 	}
+	if len(opts.Faults) > 0 {
+		if err := opts.Faults.validate(et); err != nil {
+			return nil, err
+		}
+		e.faults = opts.Faults.sorted()
+	}
 	for i := 0; i < m; i++ {
 		e.qhead[i], e.qtail[i] = -1, -1
 	}
@@ -261,7 +292,16 @@ func (e *Engine) Run() (Result, error) {
 		e.observer(e.snapshot())
 	}
 	for {
+		e.applyDueFaults()
 		choices := e.enabledChoices()
+		// A blocked configuration with mutations still pending is not
+		// quiescent: time passes, the next scheduled event fires on its
+		// own (repairs need no agent's help), and frozen arrivals may
+		// re-enable.
+		for len(choices) == 0 && e.faultIdx < len(e.faults) {
+			e.applyNextFaultBatch()
+			choices = e.enabledChoices()
+		}
 		if len(choices) == 0 {
 			e.quiesced = true
 			break
@@ -368,16 +408,38 @@ func (e *Engine) removeStaying(a *agentState) {
 // the pre-topology engine on in-degree-1 substrates — then wakes by
 // agent index ascending. The backing array is reused across steps, and
 // the init merge disappears entirely once every agent has started.
+//
+// Failed edges are skipped: their heads stay frozen in the queue and
+// re-enter the enabled set, in the same rank position, when the edge is
+// repaired. The all-up hot path is kept branch-free per edge — the
+// compiler cannot hoist the down-mask load past the appends (the slice
+// could alias), and a per-edge check measurably slows large static
+// runs — so the down-aware scan is a separate loop entered only while
+// at least one edge is failed.
 func (e *Engine) enabledChoices() []Choice {
 	out := e.choices[:0]
 	if len(e.initNodes) == 0 {
-		for _, r := range e.occupied {
-			out = append(out, Choice{
-				Kind:  ChoiceArrival,
-				Agent: int(e.qhead[r]),
-				Node:  ring.NodeID(e.et.rankDest[r]),
-				Edge:  r,
-			})
+		if e.downCount == 0 {
+			for _, r := range e.occupied {
+				out = append(out, Choice{
+					Kind:  ChoiceArrival,
+					Agent: int(e.qhead[r]),
+					Node:  ring.NodeID(e.et.rankDest[r]),
+					Edge:  r,
+				})
+			}
+		} else {
+			for _, r := range e.occupied {
+				if e.down[r] {
+					continue
+				}
+				out = append(out, Choice{
+					Kind:  ChoiceArrival,
+					Agent: int(e.qhead[r]),
+					Node:  ring.NodeID(e.et.rankDest[r]),
+					Edge:  r,
+				})
+			}
 		}
 	} else {
 		oi := 0
@@ -387,13 +449,16 @@ func (e *Engine) enabledChoices() []Choice {
 				if int(e.et.rankDest[r]) >= v {
 					break
 				}
+				oi++
+				if e.edgeDown(r) {
+					continue
+				}
 				out = append(out, Choice{
 					Kind:  ChoiceArrival,
 					Agent: int(e.qhead[r]),
 					Node:  ring.NodeID(e.et.rankDest[r]),
 					Edge:  r,
 				})
-				oi++
 			}
 			// The resident's first activation is the node's only enabled
 			// action: link arrivals into v stay suppressed behind it.
@@ -404,6 +469,9 @@ func (e *Engine) enabledChoices() []Choice {
 		}
 		for ; oi < len(e.occupied); oi++ {
 			r := e.occupied[oi]
+			if e.edgeDown(r) {
+				continue
+			}
 			out = append(out, Choice{
 				Kind:  ChoiceArrival,
 				Agent: int(e.qhead[r]),

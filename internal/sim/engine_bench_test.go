@@ -83,6 +83,53 @@ func steadyState(b *testing.B, t Topology, mkProgram func() Program) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*steps), "ns/step")
 }
 
+// BenchmarkSteadyStateDynRing is BenchmarkSteadyState with a fault
+// schedule attached: one link fails early and is repaired shortly
+// after, so the run exercises the dynamic-edge plumbing (schedule
+// cursor, down mask, frozen queue) while its steady state is dominated
+// by all-links-up stepping. The benchdiff gate holds it within 25% of
+// the static BenchmarkSteadyState ns/step and at identical allocation
+// counts: the dynamic layer must cost the static loop nothing.
+func BenchmarkSteadyStateDynRing(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		const k = 100
+		walk := 2 * n / k
+		b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
+			homes := make([]ring.NodeID, k)
+			for i := range homes {
+				homes[i] = ring.NodeID(i * (n / k))
+			}
+			faults := FaultSchedule{
+				{Step: 10, From: ring.NodeID(n / 2), Port: 0, Up: false},
+				{Step: 60, From: ring.NodeID(n / 2), Port: 0, Up: true},
+			}
+			var steps int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				programs := make([]Program, k)
+				for j := range programs {
+					programs[j] = walker(walk)
+				}
+				r := ring.MustNew(n)
+				e, err := NewEngine(r, homes, programs, Options{Scheduler: NewRoundRobin(), Faults: faults})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				res, err := e.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps = res.Steps
+			}
+			b.ReportMetric(float64(steps), "steps/op")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*steps), "ns/step")
+		})
+	}
+}
+
 // BenchmarkSteadyStateBiRing is BenchmarkSteadyState on a bidirectional
 // ring: the same forward walk, but every node now has two in-edges, so
 // the per-directed-edge queue and rank tables are exercised with

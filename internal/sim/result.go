@@ -43,9 +43,15 @@ type Result struct {
 	// Tokens is the final per-node token count (the T component of the
 	// final configuration).
 	Tokens []int
+	// Epoch counts the effective link mutations (Options.Faults or
+	// Engine.SetEdgeState) applied during the run; zero means the
+	// topology stayed static throughout.
+	Epoch int
 	// Quiesced reports whether the run ended because no atomic action
-	// was enabled. It is false when a scheduler stopped the run early
-	// (PickStop) or the run aborted on an error.
+	// was enabled and no fault event was pending. It is false when a
+	// scheduler stopped the run early (PickStop) or the run aborted on
+	// an error. A quiescent run can still hold frozen agents on failed
+	// links that were never repaired — QueuesEmpty distinguishes that.
 	Quiesced bool
 	// QueuesEmpty reports whether all link FIFO queues were empty at the
 	// end — required by both Definition 1 and Definition 2.
@@ -122,6 +128,7 @@ func (e *Engine) result() Result {
 	if rc, ok := e.sched.(RoundCounter); ok {
 		res.Rounds = rc.Rounds()
 	}
+	res.Epoch = e.epoch
 	res.Quiesced = e.quiesced
 	res.QueuesEmpty = len(e.occupied) == 0
 	for i, a := range e.agents {

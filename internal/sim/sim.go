@@ -1,30 +1,3 @@
-// Package sim executes mobile-agent algorithms on an asynchronous
-// unidirectional ring with exactly the semantics of Section 2 of the
-// paper.
-//
-// Each agent runs as a coroutine (iter.Pull) executing a Program against
-// the API; the engine activates exactly one agent at a time via a direct
-// transfer of control, so executions are deterministic given a scheduler,
-// yet the agent code reads like the paper's sequential pseudocode. An
-// activation is one atomic action:
-//
-//  1. the agent arrives at a node (popped from the head of the incoming
-//     FIFO link queue) or is woken while staying at a node,
-//  2. all queued messages are delivered (and any it does not consume are
-//     dropped — "after taking an atomic action, the agent has no
-//     message"),
-//  3. the agent performs local computation (token release, broadcasts to
-//     co-located staying agents), and
-//  4. it either moves (appending itself to the tail of the outgoing FIFO
-//     link), suspends awaiting a message, or halts (its Run returns).
-//
-// Initially each agent sits alone in the incoming buffer of its home
-// node, which guarantees it is the first agent to act there, matching
-// the paper's initial-configuration assumption.
-//
-// Fairness is the scheduler's contract: every enabled agent must be
-// chosen infinitely often. All schedulers in this package are fair; the
-// adversarial one is fair with the maximum skew its bound allows.
 package sim
 
 import (

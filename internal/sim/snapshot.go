@@ -41,6 +41,13 @@ type Configuration struct {
 	// Moves is the per-agent cumulative move count (not part of the
 	// paper's C; carried for invariant checking).
 	Moves []int
+	// Epoch counts the effective link mutations applied before this
+	// snapshot (zero for a static run); DownEdges lists the currently
+	// failed directed edges by arrival rank, ascending (empty when all
+	// links are up). Together they extend C with the dynamic-topology
+	// component: a failed edge's queue is frozen in place.
+	Epoch     int
+	DownEdges []int
 	// AgentHashes, present only when the engine runs with
 	// Options.TrackState, holds per-agent canonical hashes folding the
 	// agent's complete observation history with its pending mailbox
@@ -90,6 +97,15 @@ func (e *Engine) snapshot() Configuration {
 		dest := e.et.rankDest[r]
 		cfg.InTransit[dest] = append(cfg.InTransit[dest], q...)
 	}
+	cfg.Epoch = e.epoch
+	if e.downCount > 0 {
+		cfg.DownEdges = make([]int, 0, e.downCount)
+		for r, d := range e.down {
+			if d {
+				cfg.DownEdges = append(cfg.DownEdges, r)
+			}
+		}
+	}
 	if e.track {
 		cfg.AgentHashes = make([]uint64, k)
 		for i, a := range e.agents {
@@ -136,6 +152,17 @@ func (c Configuration) Key() uint64 {
 	}
 	for _, ah := range c.AgentHashes {
 		h = fold(h, ah)
+	}
+	// The down set is future-determining state: the same visible
+	// configuration behaves differently depending on which links are
+	// usable. The marker keeps all-up keys identical to the static
+	// engine's (nothing is folded when DownEdges is empty). Epoch, like
+	// Step, is a historical metric and is excluded.
+	if len(c.DownEdges) > 0 {
+		h = fold(h, 0xd09e)
+		for _, r := range c.DownEdges {
+			h = fold(h, uint64(r)+1)
+		}
 	}
 	return h
 }
@@ -268,7 +295,38 @@ func (a *Auditor) check(cfg Configuration) error {
 				cfg.Step, unit, v, prevQ[v], curQ[v])
 		}
 	}
+	// (6) Failed links freeze their queues: while an edge is down in two
+	// consecutive snapshots, its FIFO may grow at the tail (a move onto
+	// a failed link is a frozen send) but must never pop its head.
+	if prev.EdgeQueues != nil && cfg.EdgeQueues != nil && !allowReentry {
+		for _, r := range intersectSortedInts(prev.DownEdges, cfg.DownEdges) {
+			pq, cq := prev.EdgeQueues[r], cfg.EdgeQueues[r]
+			if len(cq) < len(pq) || !fifoEvolution(pq, cq, false) {
+				return fmt.Errorf("audit: step %d: frozen queue on down edge rank %d popped: %v -> %v",
+					cfg.Step, r, pq, cq)
+			}
+		}
+	}
 	return nil
+}
+
+// intersectSortedInts intersects two ascending int slices.
+func intersectSortedInts(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
 }
 
 func inSomeQueue(queues [][]int, id int) bool {

@@ -7,12 +7,15 @@ import (
 	"agentring/internal/ring"
 )
 
-// Event is one recorded engine occurrence.
+// Event is one recorded engine occurrence. Agent events carry the
+// acting agent's index; link mutations (kind link-down / link-up, from
+// a fault schedule or Engine.SetEdgeState) carry Agent == -1 and name
+// the edge by its tail node and out-port.
 type Event struct {
 	Step   int
-	Agent  int
+	Agent  int // acting agent, or -1 for link mutations
 	Node   ring.NodeID
-	Kind   string // arrive, wake, move, await, halt, token, broadcast
+	Kind   string // arrive, wake, move, await, halt, token, broadcast, link-down, link-up
 	Detail string
 }
 

@@ -1,0 +1,28 @@
+// Package topo provides the multi-port network substrates the
+// simulation engine can run on beyond the paper's unidirectional ring
+// (which lives in internal/ring as the out-degree-1 instance of the
+// same Topology interface): bidirectional rings and unidirectional
+// twisted tori. Native tree substrates are built by internal/embed,
+// which owns tree validation and Euler tours.
+//
+// # Invariants
+//
+// All constructors number nodes 0..n-1 and document their port layout;
+// programs address links only through ports, so substrates stay
+// anonymous exactly like the ring. Every substrate here routes port 0
+// along a Hamiltonian cycle in node order — the biring's forward
+// direction, the torus's east links (twisting into the next row at each
+// row's end) — so the paper's port-0-only algorithms run unchanged on
+// all of them and the ring uniformity predicate keeps its meaning.
+// TestBiRingNeighbors, TestTorusPortZeroIsHamiltonian, and
+// TestTorusSouthPort (topo_test.go) pin the port conventions; the
+// engine-level behaviour is covered by internal/sim's multiport tests
+// and the steady-state benchmarks.
+//
+// Topology values must be immutable once handed to an engine: the
+// engine flattens the whole edge set at construction, and replay-driven
+// tools share one value across many engines. Dynamic behaviour (link
+// failures, churn) is *not* expressed by mutating a Topology — it is
+// engine state, driven by sim.FaultSchedule over the immutable edge
+// table.
+package topo

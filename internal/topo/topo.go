@@ -1,13 +1,3 @@
-// Package topo provides the multi-port network substrates the
-// simulation engine can run on beyond the paper's unidirectional ring
-// (which lives in internal/ring as the out-degree-1 instance of the
-// same Topology interface): bidirectional rings and unidirectional
-// tori. Native tree substrates are built by internal/embed, which owns
-// tree validation and Euler tours.
-//
-// All constructors number nodes 0..n-1 and document their port layout;
-// programs address links only through ports, so substrates stay
-// anonymous exactly like the ring.
 package topo
 
 import (

@@ -1,0 +1,22 @@
+// Package verify evaluates the paper's correctness predicates on run
+// outcomes: the uniform-deployment condition (every pair of adjacent
+// agents ⌊n/k⌋ or ⌈n/k⌉ apart, all agents on distinct nodes) and the
+// termination shapes of Definition 1 (all halted, links empty) and
+// Definition 2 (all suspended, links and mailboxes empty).
+//
+// # Invariants
+//
+// IsUniform is rotation-invariant (TestIsUniformInvariantUnderRotation)
+// and Gaps always sums to n (TestGapsSumToN) — the two facts that make
+// the predicate meaningful on every substrate whose port-0 links form a
+// Hamiltonian cycle in node order, which all shipped topologies
+// guarantee. ExplainNonUniform returns "" exactly when IsUniform holds,
+// and otherwise a human-readable reason that the explorer embeds in
+// counterexamples.
+//
+// Both definition checkers require empty links, which is also how
+// frozen agents on a never-repaired dynamic-ring link are rejected: a
+// quiescent run with a non-empty frozen queue satisfies neither
+// definition (definitions_test.go, and the frozen-terminal property in
+// internal/explore).
+package verify

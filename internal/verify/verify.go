@@ -1,8 +1,3 @@
-// Package verify evaluates the paper's correctness predicates on run
-// outcomes: the uniform-deployment condition (every pair of adjacent
-// agents ⌊n/k⌋ or ⌈n/k⌉ apart, all agents on distinct nodes) and the
-// termination shapes of Definition 1 (all halted, links empty) and
-// Definition 2 (all suspended, links and mailboxes empty).
 package verify
 
 import (

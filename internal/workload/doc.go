@@ -1,0 +1,19 @@
+// Package workload generates the initial configurations the
+// experiments run on: uniformly random placements, the clustered
+// quarter-arc of the Ω(kn) lower bound (Fig 3), periodic configurations
+// with a prescribed symmetry degree l (Section 4.2), already-uniform
+// placements, and the near-periodic adversarial configurations of Fig 9
+// that provoke misestimation in the relaxed algorithm.
+//
+// # Invariants
+//
+// Every generator returns k distinct nodes of an n-ring in ascending
+// order and rejects unsatisfiable shapes (k > n, l not dividing k or
+// n). PeriodicWithDegree produces a placement whose symmetry degree is
+// *exactly* l, not at least l (TestPeriodicWithDegree); Pumped builds
+// the Theorem 5 construction — the base placement repeated `copies`
+// times plus padding — preserving the local view of every original
+// agent (TestPumped). These guarantees are what the impossibility
+// replays and the symmetry-degree sweeps (internal/experiments) lean
+// on.
+package workload

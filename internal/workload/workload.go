@@ -1,9 +1,3 @@
-// Package workload generates the initial configurations the experiments
-// run on: uniformly random placements, the clustered quarter-arc of the
-// Ω(kn) lower bound (Fig 3), periodic configurations with a prescribed
-// symmetry degree l (Section 4.2), already-uniform placements, and the
-// near-periodic adversarial configurations of Fig 9 that provoke
-// misestimation in the relaxed algorithm.
 package workload
 
 import (

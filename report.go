@@ -59,6 +59,10 @@ type Report struct {
 	MessagesDelivered int
 	PeakWords         int // max over agents
 	PeakBits          int // PeakWords x ceil(log2 n)
+	// Epoch counts the effective link mutations Config.Faults applied
+	// during the run (a no-op event — repairing an up link — does not
+	// count). Zero means the topology stayed static.
+	Epoch int
 
 	// Agents holds the per-agent outcomes.
 	Agents []AgentOutcome
@@ -112,6 +116,7 @@ func buildReport(alg Algorithm, cfg Config, res sim.Result, trace *sim.Trace) Re
 		MessagesDelivered: res.MessagesDelivered,
 		PeakWords:         res.MaxPeakWords(),
 		PeakBits:          res.MaxPeakWords() * memmeter.BitsPerWord(cfg.N),
+		Epoch:             res.Epoch,
 	}
 	homes := make([]ring.NodeID, len(cfg.Homes))
 	for i, h := range cfg.Homes {
