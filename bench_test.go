@@ -275,9 +275,12 @@ func BenchmarkAlgorithmComparison(b *testing.B) {
 // paper's O(n)/O(n log k) time claims are only observable at these
 // scales when simulator overhead is O(1) per action.
 func BenchmarkEngineSteadyState(b *testing.B) {
-	for _, n := range []int{1000, 10000, 100000} {
-		const k = 100
+	for _, nk := range [][2]int{{1000, 100}, {10000, 100}, {100000, 100}, {1000000, 10}} {
+		n, k := nk[0], nk[1]
 		b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
+			if n >= 1000000 && testing.Short() {
+				b.Skip("million-node row skipped in -short mode")
+			}
 			homes, err := agentring.RandomHomes(n, k, int64(n))
 			if err != nil {
 				b.Fatal(err)

@@ -9,10 +9,15 @@
 //	    different machines stay comparable.
 //
 //	benchdiff -baseline BENCH_baseline.json -current BENCH_ci.json
-//	    Compare two parsed files on one metric (default ns/step) and
-//	    exit non-zero when any benchmark regressed by more than
+//	    Compare two parsed files on a set of metrics (default
+//	    "ns/step,B/op,allocs/op,bytes/node") and exit non-zero when any
+//	    benchmark regressed on any gated metric by more than
 //	    -max-regress percent (default 25), or when a baseline benchmark
-//	    disappeared. Improvements and new benchmarks never fail.
+//	    disappeared. A metric the baseline does not record for a
+//	    benchmark is not gated there; a metric the baseline records but
+//	    the current run dropped is a failure. Improvements and new
+//	    benchmarks never fail. -metric NAME restricts the gate to a
+//	    single metric.
 //
 // The committed BENCH_baseline.json is refreshed by running the same
 // two commands locally (see README) whenever a PR intentionally changes
@@ -51,17 +56,22 @@ func run(args []string, out io.Writer) error {
 		parseFile  = fs.String("parse", "", "parse `go test -bench` output from this file (- = stdin) and print JSON")
 		baseline   = fs.String("baseline", "", "baseline JSON file (compare mode)")
 		current    = fs.String("current", "", "current JSON file (compare mode)")
-		metric     = fs.String("metric", "ns/step", "metric to compare")
+		metric     = fs.String("metric", "", "gate only this metric (overrides -metrics)")
+		metrics    = fs.String("metrics", "ns/step,B/op,allocs/op,bytes/node", "comma-separated metrics to gate")
 		maxRegress = fs.Float64("max-regress", 25, "failure threshold in percent")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	gated := strings.Split(*metrics, ",")
+	if *metric != "" {
+		gated = []string{*metric}
+	}
 	switch {
 	case *parseFile != "":
 		return parseMode(*parseFile, out)
 	case *baseline != "" && *current != "":
-		return compareMode(*baseline, *current, *metric, *maxRegress, out)
+		return compareMode(*baseline, *current, gated, *maxRegress, out)
 	default:
 		return fmt.Errorf("need either -parse FILE or -baseline FILE -current FILE")
 	}
@@ -157,7 +167,7 @@ func loadBenches(path string) (map[string]Bench, error) {
 	return out, nil
 }
 
-func compareMode(basePath, curPath, metric string, maxRegress float64, out io.Writer) error {
+func compareMode(basePath, curPath string, metrics []string, maxRegress float64, out io.Writer) error {
 	base, err := loadBenches(basePath)
 	if err != nil {
 		return err
@@ -172,41 +182,47 @@ func compareMode(basePath, curPath, metric string, maxRegress float64, out io.Wr
 	}
 	sort.Strings(names)
 	var failures []string
-	fmt.Fprintf(out, "%-50s %12s %12s %8s\n", "benchmark", "base "+metric, "cur "+metric, "delta")
+	fmt.Fprintf(out, "%-50s %-10s %12s %12s %8s\n", "benchmark", "metric", "base", "cur", "delta")
 	for _, name := range names {
 		b := base[name]
-		bv, ok := b.Metrics[metric]
-		if !ok {
-			// The baseline does not measure this metric for this
-			// benchmark; nothing to guard.
-			continue
+		c, inCur := cur[name]
+		reported := false
+		for _, metric := range metrics {
+			bv, ok := b.Metrics[metric]
+			if !ok {
+				// The baseline does not measure this metric for this
+				// benchmark; nothing to guard.
+				continue
+			}
+			if !inCur {
+				if !reported {
+					failures = append(failures, fmt.Sprintf("%s: missing from current run", name))
+					reported = true
+				}
+				continue
+			}
+			cv, ok := c.Metrics[metric]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("%s: current run lacks metric %s", name, metric))
+				continue
+			}
+			delta := 0.0
+			switch {
+			case bv != 0:
+				delta = (cv - bv) / bv * 100
+			case cv > 0:
+				// Any growth from a zero baseline (e.g. allocs/op on an
+				// allocation-free loop) is an unbounded regression.
+				delta = math.Inf(1)
+			}
+			verdict := ""
+			if delta > maxRegress {
+				verdict = "  REGRESSION"
+				failures = append(failures,
+					fmt.Sprintf("%s: %s %.2f -> %.2f (%+.1f%% > %.1f%%)", name, metric, bv, cv, delta, maxRegress))
+			}
+			fmt.Fprintf(out, "%-50s %-10s %12.2f %12.2f %+7.1f%%%s\n", name, metric, bv, cv, delta, verdict)
 		}
-		c, ok := cur[name]
-		if !ok {
-			failures = append(failures, fmt.Sprintf("%s: missing from current run", name))
-			continue
-		}
-		cv, ok := c.Metrics[metric]
-		if !ok {
-			failures = append(failures, fmt.Sprintf("%s: current run lacks metric %s", name, metric))
-			continue
-		}
-		delta := 0.0
-		switch {
-		case bv != 0:
-			delta = (cv - bv) / bv * 100
-		case cv > 0:
-			// Any growth from a zero baseline (e.g. allocs/op on an
-			// allocation-free loop) is an unbounded regression.
-			delta = math.Inf(1)
-		}
-		verdict := ""
-		if delta > maxRegress {
-			verdict = "  REGRESSION"
-			failures = append(failures,
-				fmt.Sprintf("%s: %s %.2f -> %.2f (%+.1f%% > %.1f%%)", name, metric, bv, cv, delta, maxRegress))
-		}
-		fmt.Fprintf(out, "%-50s %12.2f %12.2f %+7.1f%%%s\n", name, bv, cv, delta, verdict)
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("%d regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))

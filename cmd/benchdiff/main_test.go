@@ -115,6 +115,44 @@ func TestCompareFailsOnMissingBenchmark(t *testing.T) {
 	}
 }
 
+func TestCompareGatesAllDefaultMetrics(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSONFile(t, dir, "base.json", []Bench{
+		{Name: "B/a", Metrics: map[string]float64{"ns/step": 100, "B/op": 1000, "bytes/node": 50}},
+	})
+	cur := writeJSONFile(t, dir, "cur.json", []Bench{
+		// ns/step improves, but bytes/node blows past the threshold: the
+		// multi-metric gate must still fail.
+		{Name: "B/a", Metrics: map[string]float64{"ns/step": 50, "B/op": 1000, "bytes/node": 90}},
+	})
+	var out bytes.Buffer
+	err := run([]string{"-baseline", base, "-current", cur}, &out)
+	if err == nil || !strings.Contains(err.Error(), "bytes/node") {
+		t.Fatalf("bytes/node regression must fail the default gate: err = %v\n%s", err, out.String())
+	}
+	// Every gated metric present in the baseline gets a table row.
+	for _, metric := range []string{"ns/step", "B/op", "bytes/node"} {
+		if !strings.Contains(out.String(), metric) {
+			t.Errorf("table lacks a %s row:\n%s", metric, out.String())
+		}
+	}
+}
+
+func TestCompareFailsOnDroppedMetric(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSONFile(t, dir, "base.json", []Bench{
+		{Name: "B/a", Metrics: map[string]float64{"ns/step": 100, "bytes/node": 50}},
+	})
+	cur := writeJSONFile(t, dir, "cur.json", []Bench{
+		{Name: "B/a", Metrics: map[string]float64{"ns/step": 100}},
+	})
+	var out bytes.Buffer
+	err := run([]string{"-baseline", base, "-current", cur}, &out)
+	if err == nil || !strings.Contains(err.Error(), "lacks metric bytes/node") {
+		t.Fatalf("a dropped baseline metric must fail: err = %v\n%s", err, out.String())
+	}
+}
+
 func TestParseModeRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	raw := filepath.Join(dir, "bench.txt")

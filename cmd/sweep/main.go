@@ -34,6 +34,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"agentring"
@@ -58,9 +60,36 @@ func run(args []string, out io.Writer) error {
 		chart    = fs.Bool("chart", false, "append ASCII bar charts of total moves (table output only)")
 		workers  = fs.Int("workers", 0, "worker pool size (0 = all cores)")
 		jsonFlag = fs.Bool("json", false, "emit rows as JSON instead of tables")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile (taken after the sweep) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // profile live objects, not construction garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep: memprofile:", err)
+			}
+		}()
 	}
 
 	ns := []int{64, 128, 256}

@@ -1,0 +1,194 @@
+package agentring_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"agentring/internal/baseline"
+	"agentring/internal/core"
+	"agentring/internal/ring"
+	"agentring/internal/sim"
+	"agentring/internal/topo"
+)
+
+// The frame-vs-coroutine cross-check: every algorithm whose program
+// implements sim.Framer executes by default as a resumable frame, while
+// sim.Options.ForceCoroutine runs the same program's coroutine Run. The
+// two paths promise observational equivalence (see sim.Frame); this
+// test holds them to it on the golden configuration across all
+// schedulers, comparing the full rendered trace, the canonical
+// configuration hash (with per-agent state tracking on), and final
+// positions. Together with TestGoldenDeterminism — which pins the
+// default path against recorded traces — this keeps both execution
+// forms byte-identical to the pre-frame engine.
+
+// crosscheckConfig is the golden configuration of TestGoldenDeterminism.
+const crosscheckN = 36
+
+var crosscheckHomes = []ring.NodeID{0, 3, 4, 11, 17, 25}
+
+// crosscheckPrograms builds one fresh program per agent, mirroring the
+// facade's per-algorithm construction.
+func crosscheckPrograms(t *testing.T, alg string, n, k int) []sim.Program {
+	t.Helper()
+	mk := func() (sim.Program, error) {
+		switch alg {
+		case "native":
+			return core.NewAlg1(core.KnowAgents, k)
+		case "nativeKnowN":
+			return core.NewAlg1(core.KnowNodes, n)
+		case "logspace":
+			return core.NewAlg2(k)
+		case "relaxed":
+			return core.NewRelaxed(), nil
+		case "naive":
+			return core.NewNaiveEstimator(), nil
+		case "firstfit":
+			return baseline.NewFirstFit(n, k)
+		case "binative":
+			return core.NewBiNative(k)
+		default:
+			return nil, fmt.Errorf("unknown algorithm %q", alg)
+		}
+	}
+	programs := make([]sim.Program, k)
+	for i := range programs {
+		p, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		programs[i] = p
+	}
+	return programs
+}
+
+func crosscheckScheduler(t *testing.T, kind string) sim.Scheduler {
+	t.Helper()
+	switch kind {
+	case "roundrobin":
+		return sim.NewRoundRobin()
+	case "random":
+		return sim.NewRandom(7)
+	case "synchronous":
+		return sim.NewSynchronous()
+	case "adversarial":
+		return sim.NewAdversarial(sim.DefaultAdversaryBound)
+	default:
+		t.Fatalf("unknown scheduler %q", kind)
+		return nil
+	}
+}
+
+// runBoth executes the same (topology, programs, scheduler, faults)
+// setup twice — frames on, frames forced off — and asserts identical
+// observable behaviour.
+func runBoth(t *testing.T, top sim.Topology, alg, sched string, faults sim.FaultSchedule) {
+	t.Helper()
+	n := top.Size()
+	k := len(crosscheckHomes)
+	type outcome struct {
+		trace     string
+		key       uint64
+		hashes    []uint64
+		positions []ring.NodeID
+		steps     int
+		err       error
+	}
+	exec := func(force bool) outcome {
+		trace := sim.NewTrace(1 << 20)
+		e, err := sim.NewEngine(top, crosscheckHomes, crosscheckPrograms(t, alg, n, k), sim.Options{
+			Scheduler:      crosscheckScheduler(t, sched),
+			Trace:          trace,
+			TrackState:     true,
+			Faults:         faults,
+			ForceCoroutine: force,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		snap := e.Snapshot()
+		return outcome{
+			trace:     trace.String(),
+			key:       snap.Key(),
+			hashes:    snap.AgentHashes,
+			positions: res.Positions(),
+			steps:     res.Steps,
+			err:       err,
+		}
+	}
+	frame, coro := exec(false), exec(true)
+	if (frame.err == nil) != (coro.err == nil) {
+		t.Fatalf("run errors diverge: frame=%v coroutine=%v", frame.err, coro.err)
+	}
+	if frame.err != nil && frame.err.Error() != coro.err.Error() {
+		t.Fatalf("error texts diverge:\nframe:     %v\ncoroutine: %v", frame.err, coro.err)
+	}
+	if frame.trace != coro.trace {
+		t.Errorf("traces diverge (frame %d bytes, coroutine %d bytes)", len(frame.trace), len(coro.trace))
+	}
+	if frame.key != coro.key {
+		t.Errorf("configuration keys diverge: frame %#x, coroutine %#x", frame.key, coro.key)
+	}
+	if !reflect.DeepEqual(frame.hashes, coro.hashes) {
+		t.Errorf("agent state hashes diverge:\nframe:     %#x\ncoroutine: %#x", frame.hashes, coro.hashes)
+	}
+	if !reflect.DeepEqual(frame.positions, coro.positions) {
+		t.Errorf("positions diverge: frame %v, coroutine %v", frame.positions, coro.positions)
+	}
+	if frame.steps != coro.steps {
+		t.Errorf("steps diverge: frame %d, coroutine %d", frame.steps, coro.steps)
+	}
+}
+
+func TestFrameCoroutineCrossCheck(t *testing.T) {
+	algs := []string{"native", "nativeKnowN", "logspace", "relaxed", "naive", "firstfit"}
+	scheds := []string{"roundrobin", "random", "synchronous", "adversarial"}
+	for _, alg := range algs {
+		for _, sched := range scheds {
+			t.Run(alg+"/"+sched, func(t *testing.T) {
+				runBoth(t, ring.MustNew(crosscheckN), alg, sched, nil)
+			})
+		}
+	}
+}
+
+// TestFrameCoroutineCrossCheckBiRing covers the multi-port frame
+// (binative's backward deployment) on the bidirectional ring.
+func TestFrameCoroutineCrossCheckBiRing(t *testing.T) {
+	bi, err := topo.NewBiRing(crosscheckN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sched := range []string{"roundrobin", "random", "synchronous", "adversarial"} {
+		t.Run("binative/"+sched, func(t *testing.T) {
+			runBoth(t, bi, "binative", sched, nil)
+		})
+	}
+}
+
+// TestFrameCoroutineCrossCheckFaults replays the fault-golden shapes —
+// a no-op all-up schedule and a real fail/repair pair — through both
+// execution forms.
+func TestFrameCoroutineCrossCheckFaults(t *testing.T) {
+	schedules := map[string]sim.FaultSchedule{
+		"allup": {
+			{Step: 0, From: 0, Port: 0, Up: true},
+			{Step: 7, From: 9, Port: 0, Up: true},
+			{Step: 100, From: 20, Port: 0, Up: true},
+			{Step: 1 << 20, From: 33, Port: 0, Up: true},
+		},
+		"failrepair": {
+			{Step: 10, From: 18, Port: 0, Up: false},
+			{Step: 90, From: 18, Port: 0, Up: true},
+		},
+	}
+	for name, faults := range schedules {
+		for _, alg := range []string{"native", "relaxed"} {
+			t.Run(name+"/"+alg, func(t *testing.T) {
+				runBoth(t, ring.MustNew(crosscheckN), alg, "roundrobin", faults)
+			})
+		}
+	}
+}

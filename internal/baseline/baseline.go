@@ -46,3 +46,43 @@ func (p *firstFit) Run(api sim.API) error {
 	}
 	return nil // park wherever we are; likely not uniform
 }
+
+// Frame implements sim.Framer: the strawman as a resumable state
+// machine making the same API-call sequence as Run.
+func (p *firstFit) Frame() sim.Frame { return &firstFitFrame{p: p} }
+
+type firstFitFrame struct {
+	p       *firstFit
+	started bool
+	stride  int
+	hop     int // completed stride hops
+	i       int // moves issued in the current hop
+}
+
+func (f *firstFitFrame) Step(api sim.API) sim.Action {
+	if !f.started {
+		f.started = true
+		api.Meter().Set(4)
+		f.stride = f.p.n / f.p.k
+		if f.stride == 0 {
+			f.stride = 1
+		}
+		f.i = 1
+		return sim.Action{Kind: sim.ActionMove}
+	}
+	if f.i < f.stride {
+		f.i++
+		return sim.Action{Kind: sim.ActionMove}
+	}
+	// A stride point: vacant means settle, occupied means hop again —
+	// until the hop budget runs out and the agent parks in place.
+	if api.AgentsHere() == 0 {
+		return sim.Action{Kind: sim.ActionDone}
+	}
+	f.hop++
+	if f.hop >= 2*f.p.k {
+		return sim.Action{Kind: sim.ActionDone}
+	}
+	f.i = 1
+	return sim.Action{Kind: sim.ActionMove}
+}

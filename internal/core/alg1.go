@@ -44,12 +44,16 @@ func NewAlg1(know Knowledge, value int) (sim.Program, error) {
 	return &alg1{know: know, value: value}, nil
 }
 
+// alg1Scalars is the fixed scalar working set metered by Algorithm 1:
+// j, dis, n, rank, disBase, moved.
+const alg1Scalars = 6
+
 // Run implements sim.Program. It follows the paper's Algorithm 1:
 // selection phase (one circuit collecting the distance sequence D), then
 // deployment phase (move to the base node, then to the rank-th target).
 func (p *alg1) Run(api sim.API) error {
 	m := api.Meter()
-	const scalars = 6 // j, dis, n, rank, disBase, moved
+	const scalars = alg1Scalars
 	m.Set(scalars)
 
 	// Selection phase: release the token, travel once around the ring,
@@ -109,4 +113,84 @@ func (p *alg1) circuitDone(tokensSeen, moved int) bool {
 		return tokensSeen == p.value
 	}
 	return moved >= p.value
+}
+
+// Frame implements sim.Framer: Algorithm 1 as a resumable state machine
+// making the same API-call sequence as Run, one atomic action per Step.
+func (p *alg1) Frame() sim.Frame { return &alg1Frame{p: p} }
+
+// alg1Frame is the data-oriented execution of Algorithm 1. Selection
+// state is the distance sequence under construction; deployment is a
+// countdown of forward moves.
+type alg1Frame struct {
+	p     *alg1
+	phase int // 0 init, 1 selection circuit, 2 deployment
+	d     []int
+	dis   int
+	moved int
+	left  int // deployment moves remaining
+}
+
+func (f *alg1Frame) Step(api sim.API) sim.Action {
+	switch f.phase {
+	case 0:
+		api.Meter().Set(alg1Scalars)
+		api.ReleaseToken()
+		f.phase = 1
+		return f.selMove()
+	case 1:
+		if api.TokensHere() > 0 {
+			f.d = append(f.d, f.dis)
+			api.Meter().Set(alg1Scalars + len(f.d))
+			if f.p.circuitDone(len(f.d), f.moved) {
+				return f.deployStart()
+			}
+			f.dis = 0
+		}
+		return f.selMove()
+	default:
+		if f.left == 0 {
+			return sim.Action{Kind: sim.ActionDone}
+		}
+		f.left--
+		return sim.Action{Kind: sim.ActionMove}
+	}
+}
+
+func (f *alg1Frame) selMove() sim.Action {
+	f.moved++
+	f.dis++
+	return sim.Action{Kind: sim.ActionMove}
+}
+
+// deployStart runs the between-phases computation inside the activation
+// that observed the final token, exactly where Run performs it.
+func (f *alg1Frame) deployStart() sim.Action {
+	p, n, k, d := f.p, f.moved, len(f.d), f.d
+	if p.know == KnowNodes && n != p.value {
+		return sim.Action{Kind: sim.ActionDone,
+			Err: fmt.Errorf("%w: moved %d nodes, expected circuit of %d", ErrInvariant, n, p.value)}
+	}
+	if p.know == KnowAgents && k != p.value {
+		return sim.Action{Kind: sim.ActionDone,
+			Err: fmt.Errorf("%w: observed %d tokens, expected %d", ErrInvariant, k, p.value)}
+	}
+	if seq.Sum(d) != n {
+		return sim.Action{Kind: sim.ActionDone,
+			Err: fmt.Errorf("%w: distance sequence sums to %d, circuit length %d", ErrInvariant, seq.Sum(d), n)}
+	}
+	rank := seq.MinRotation(d)
+	disBase := seq.Sum(d[:rank])
+	b := seq.SymmetryDegree(d)
+	offset, err := TargetOffset(n, k, b, rank)
+	if err != nil {
+		return sim.Action{Kind: sim.ActionDone, Err: fmt.Errorf("target for rank %d: %w", rank, err)}
+	}
+	f.phase = 2
+	f.left = disBase + offset
+	if f.left == 0 {
+		return sim.Action{Kind: sim.ActionDone}
+	}
+	f.left--
+	return sim.Action{Kind: sim.ActionMove}
 }

@@ -41,13 +41,17 @@ func NewBiNative(k int) (sim.Program, error) {
 	return &biNative{k: k}, nil
 }
 
+// biNativeScalars is the fixed scalar working set metered by the
+// bidirectional variant: j, dis, n, rank, disBase, moved, delta.
+const biNativeScalars = 7
+
 // Run implements sim.Program.
 func (p *biNative) Run(api sim.API) error {
 	if deg := api.OutDegree(); deg < 2 {
 		return fmt.Errorf("%w: bidirectional algorithm on out-degree-%d node", ErrBadParam, deg)
 	}
 	m := api.Meter()
-	const scalars = 7 // j, dis, n, rank, disBase, moved, delta
+	const scalars = biNativeScalars
 	m.Set(scalars)
 
 	// Selection phase (identical to Algorithm 1): release the token,
@@ -100,4 +104,81 @@ func (p *biNative) Run(api sim.API) error {
 	}
 	// Returning enters the halt state: termination detection achieved.
 	return nil
+}
+
+// Frame implements sim.Framer: the bidirectional variant as a resumable
+// state machine making the same API-call sequence as Run.
+func (p *biNative) Frame() sim.Frame { return &biNativeFrame{p: p} }
+
+type biNativeFrame struct {
+	p     *biNative
+	phase int // 0 init, 1 selection circuit, 2 deployment
+	d     []int
+	dis   int
+	moved int
+	port  int // deployment direction: 0 forward, 1 backward
+	left  int // deployment moves remaining
+}
+
+func (f *biNativeFrame) Step(api sim.API) sim.Action {
+	switch f.phase {
+	case 0:
+		if deg := api.OutDegree(); deg < 2 {
+			return sim.Action{Kind: sim.ActionDone,
+				Err: fmt.Errorf("%w: bidirectional algorithm on out-degree-%d node", ErrBadParam, deg)}
+		}
+		api.Meter().Set(biNativeScalars)
+		api.ReleaseToken()
+		f.phase = 1
+		return f.selMove()
+	case 1:
+		if api.TokensHere() > 0 {
+			f.d = append(f.d, f.dis)
+			api.Meter().Set(biNativeScalars + len(f.d))
+			if len(f.d) == f.p.k {
+				return f.deployStart()
+			}
+			f.dis = 0
+		}
+		return f.selMove()
+	default:
+		if f.left == 0 {
+			return sim.Action{Kind: sim.ActionDone}
+		}
+		f.left--
+		return sim.Action{Kind: sim.ActionMove, Port: f.port}
+	}
+}
+
+func (f *biNativeFrame) selMove() sim.Action {
+	f.moved++
+	f.dis++
+	return sim.Action{Kind: sim.ActionMove}
+}
+
+func (f *biNativeFrame) deployStart() sim.Action {
+	n, d := f.moved, f.d
+	if seq.Sum(d) != n {
+		return sim.Action{Kind: sim.ActionDone,
+			Err: fmt.Errorf("%w: distance sequence sums to %d, circuit length %d", ErrInvariant, seq.Sum(d), n)}
+	}
+	rank := seq.MinRotation(d)
+	disBase := seq.Sum(d[:rank])
+	b := seq.SymmetryDegree(d)
+	offset, err := TargetOffset(n, f.p.k, b, rank)
+	if err != nil {
+		return sim.Action{Kind: sim.ActionDone, Err: fmt.Errorf("target for rank %d: %w", rank, err)}
+	}
+	delta := (disBase + offset) % n
+	f.phase = 2
+	if delta <= n-delta {
+		f.port, f.left = 0, delta
+	} else {
+		f.port, f.left = 1, n-delta
+	}
+	if f.left == 0 {
+		return sim.Action{Kind: sim.ActionDone}
+	}
+	f.left--
+	return sim.Action{Kind: sim.ActionMove, Port: f.port}
 }

@@ -29,10 +29,13 @@ var _ sim.Program = naiveEstimator{}
 // NewNaiveEstimator returns the estimate-then-halt straw-man program.
 func NewNaiveEstimator() sim.Program { return naiveEstimator{} }
 
+// naiveScalars is the fixed scalar working set the estimator meters.
+const naiveScalars = 6
+
 // Run implements sim.Program.
 func (naiveEstimator) Run(api sim.API) error {
 	m := api.Meter()
-	const scalars = 6
+	const scalars = naiveScalars
 	m.Set(scalars)
 
 	api.ReleaseToken()
@@ -67,4 +70,62 @@ func (naiveEstimator) Run(api sim.API) error {
 	}
 	// Halting here is exactly the sin Theorem 5 proves fatal.
 	return nil
+}
+
+// Frame implements sim.Framer: the estimator as a resumable state
+// machine making the same API-call sequence as Run.
+func (naiveEstimator) Frame() sim.Frame { return &naiveFrame{} }
+
+type naiveFrame struct {
+	phase int // 0 init, 1 estimation walk, 2 deployment
+	d     []int
+	dis   int
+	left  int
+}
+
+func (f *naiveFrame) Step(api sim.API) sim.Action {
+	switch f.phase {
+	case 0:
+		api.Meter().Set(naiveScalars)
+		api.ReleaseToken()
+		f.phase = 1
+		f.dis++
+		return sim.Action{Kind: sim.ActionMove}
+	case 1:
+		if api.TokensHere() > 0 {
+			f.d = append(f.d, f.dis)
+			api.Meter().Set(naiveScalars + len(f.d))
+			if seq.FourfoldPrefix(f.d) {
+				return f.deployStart()
+			}
+			f.dis = 0
+		}
+		f.dis++
+		return sim.Action{Kind: sim.ActionMove}
+	default:
+		if f.left == 0 {
+			return sim.Action{Kind: sim.ActionDone}
+		}
+		f.left--
+		return sim.Action{Kind: sim.ActionMove}
+	}
+}
+
+func (f *naiveFrame) deployStart() sim.Action {
+	kPrime := len(f.d) / 4
+	nPrime := seq.Sum(f.d[:kPrime])
+	fund := f.d[:kPrime]
+	rank := seq.MinRotation(fund)
+	disBase := seq.Sum(fund[:rank])
+	offset, err := TargetOffset(nPrime, kPrime, 1, rank)
+	if err != nil {
+		return sim.Action{Kind: sim.ActionDone, Err: fmt.Errorf("naive target: %w", err)}
+	}
+	f.phase = 2
+	f.left = disBase + offset
+	if f.left == 0 {
+		return sim.Action{Kind: sim.ActionDone}
+	}
+	f.left--
+	return sim.Action{Kind: sim.ActionMove}
 }

@@ -1,0 +1,30 @@
+package memmeter
+
+import "testing"
+
+// TestHeapFootprint checks the measurement sees retained allocations at
+// roughly their true size and does not charge garbage.
+func TestHeapFootprint(t *testing.T) {
+	const want = 1 << 20
+	obj, bytes := HeapFootprint(func() any {
+		return make([]byte, want)
+	})
+	if obj == nil {
+		t.Fatal("built object not returned")
+	}
+	if bytes < want || bytes > want+(want/2) {
+		t.Errorf("footprint of a retained 1MiB slice = %d bytes", bytes)
+	}
+	// A builder whose allocations all die before it returns should cost
+	// (close to) nothing.
+	_, bytes = HeapFootprint(func() any {
+		s := 0
+		for i := 0; i < 64; i++ {
+			s += len(make([]byte, 1<<16))
+		}
+		return s
+	})
+	if bytes > 1<<18 {
+		t.Errorf("footprint of garbage-only builder = %d bytes", bytes)
+	}
+}

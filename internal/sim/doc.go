@@ -6,11 +6,14 @@
 //
 // # Execution model
 //
-// Each agent runs as a coroutine (iter.Pull) executing a Program
-// against the API; the engine activates exactly one agent at a time via
-// a direct transfer of control, so executions are deterministic given a
-// scheduler, yet the agent code reads like the paper's sequential
-// pseudocode. An activation is one atomic action:
+// Each agent executes a Program against the API, one agent at a time,
+// so executions are deterministic given a scheduler, yet the agent code
+// reads like the paper's sequential pseudocode. Programs that implement
+// Framer run as resumable frames — a Step call per activation, no
+// goroutine, no stack — while plain Programs fall back to a coroutine
+// (iter.Pull) with identical observable behaviour (the contract on
+// Frame; TestFrameCoroutineCrossCheck holds every algorithm to it). An
+// activation is one atomic action:
 //
 //  1. the agent arrives at a node (popped from the head of one incoming
 //     FIFO link queue) or is woken while staying at a node,
@@ -50,13 +53,21 @@
 // # Performance shape
 //
 // The engine never rescans the topology: the edge set is flattened at
-// construction into rank-indexed dense arrays (topology.go), enabled
-// actions / occupied edges / wakeable agents / per-node occupancy are
-// maintained incrementally, and the choice slice is reused across
-// steps, so the steady-state stepping loop performs no allocation and
-// no Topology interface calls regardless of substrate or size.
-// BenchmarkSteadyState (and its BiRing / Torus / DynRing variants)
-// measure this; the committed BENCH_baseline.json gates regressions.
+// construction into rank-indexed dense arrays (topology.go), and all
+// per-agent state lives in parallel arrays (structure-of-arrays) rather
+// than per-agent objects. Occupied edges, wakeable agents, and the
+// ready set (heads of up edges plus wakeable agents — exactly the
+// enabled actions once initialization drains) are hierarchical word
+// bitsets (bitset.go) maintained incrementally; under the round-robin
+// scheduler the engine picks the next enabled action branch-free with a
+// cyclic next-set-bit scan and never materializes a choice slice at
+// all. Framer agents resume without any goroutine hand-off. The result
+// is a steady-state loop with no allocation, no interface calls, and
+// tens of nanoseconds per atomic action up to million-node rings
+// (~45 retained bytes per node). BenchmarkSteadyState — now spanning
+// n=1e3..1e6, with a separate 1e7 XL row — and its BiRing / Torus /
+// DynRing variants measure this; the committed BENCH_baseline.json
+// gates ns/step, B/op, allocs/op, and bytes/node in CI.
 //
 // # Dynamic topologies
 //

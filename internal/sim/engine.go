@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"iter"
 	"reflect"
-	"slices"
 
 	"agentring/internal/memmeter"
 	"agentring/internal/ring"
@@ -54,6 +53,12 @@ type Options struct {
 	// recognize converged branches. Off by default: hashing message
 	// payloads costs a formatting pass per delivery.
 	TrackState bool
+	// ForceCoroutine disables the Frame fast path: programs that
+	// implement Framer run their coroutine Run instead. The two paths
+	// are observationally identical (the frame-vs-coroutine cross-check
+	// executes both and compares traces and state hashes); this switch
+	// exists for that test and for bisecting a suspected frame bug.
+	ForceCoroutine bool
 }
 
 type yieldKind int
@@ -70,83 +75,95 @@ type yieldEvent struct {
 	err  error
 }
 
-type agentState struct {
-	id      int
-	home    ring.NodeID
-	node    ring.NodeID
-	status  Status
-	mailbox []Message
-	moves   int
-	meter   memmeter.Meter
-	program Program
-
-	// inRank is the arrival rank of the directed edge the agent most
-	// recently traversed (-1 before its first move: the initial
-	// home-buffer pop is a residency, not a traversal).
-	inRank int32
-
-	// obsHash folds every API observation the program made (tracked
-	// only under Options.TrackState); mailHash folds the payloads
-	// pending in the mailbox, reset at delivery.
-	obsHash  uint64
-	mailHash uint64
-
-	api *apiState
-	// next resumes the agent's coroutine until its next yield; stop
-	// retires it. Both are created lazily at the first activation.
-	next    func() (yieldEvent, bool)
-	stop    func()
-	yieldFn func(yieldEvent) bool
-	err     error
+// coroState is the lazily created coroutine of one non-frame agent.
+type coroState struct {
+	// next resumes the coroutine until its next yield; stop retires it.
+	next  func() (yieldEvent, bool)
+	stop  func()
+	yield func(yieldEvent) bool
 }
 
 // Engine drives one execution of a set of agent programs on a topology
 // (a unidirectional ring by default; see Topology). An Engine is
 // single-use: construct, Run once, inspect the Result.
 //
-// The engine never rescans the topology: the whole edge set is
-// flattened into dense arrays at construction (edgeTable), so the
-// steady-state loop performs no Topology interface calls, and the set
-// of enabled atomic actions is maintained incrementally. Link FIFOs are
-// per *directed edge* — a node with several incoming links has several
-// independently ordered queues, exactly the FIFO-link model
-// generalized — and occupied holds the non-empty edges by arrival rank
-// (ascending), wakeable holds the suspended agents with a non-empty
-// mailbox (ascending), and staying indexes the waiting/halted agents
-// per node so co-location queries cost O(co-located agents) instead of
-// O(k). Each step rebuilds the choice slice from these sets into a
-// buffer reused across steps, so the steady-state loop allocates
-// nothing.
+// The engine is data-oriented: all per-agent state lives in flat
+// parallel arrays (struct-of-arrays — see the "agent tables" block
+// below), the enabled sets are hierarchical word bitsets (bitset.go),
+// and a step touches a handful of contiguous words instead of chasing
+// per-agent heap objects. The engine never rescans the topology: the
+// whole edge set is flattened into dense rank-indexed arrays at
+// construction (edgeTable), so the steady-state loop performs no
+// Topology interface calls and allocates nothing.
+//
+// Under the default round-robin scheduler the engine additionally skips
+// choice-list materialization entirely: the ready bitset holds exactly
+// the enabled agents once every agent has started, and the round-robin
+// pick is a cyclic next-set-bit query (see Run). Other schedulers get
+// the same deterministic choice list as before, rebuilt per step from
+// the bitsets into a reused buffer.
 //
 // The edge set can be made dynamic: Options.Faults (or SetEdgeState)
 // fails and repairs individual directed edges between atomic actions,
 // with the frozen-FIFO semantics documented on FaultSchedule. The
-// static tables never rebuild — a failed edge is a lazily allocated
-// per-rank mask bit — so engines without mutations pay only a nil
-// check per occupied edge.
+// static tables never rebuild — a failed edge is a bit in a lazily
+// allocated rank bitset, and freezing/repairing an edge just removes or
+// re-adds its queue head in the ready set.
 type Engine struct {
 	et       *edgeTable
 	tokens   []int // per-node indelible token counts (the T component)
-	agents   []*agentState
 	sched    Scheduler
 	maxStep  int
 	trace    *Trace
 	observer Observer
 
+	// Agent tables: parallel arrays indexed by agent id. The hot loop
+	// reads node/status/qrank/qnext and the queue links; everything an
+	// activation rarely touches (meter, program, error) sits in separate
+	// arrays so it stays out of the touched cache lines.
+	node     []ring.NodeID // current (or last) node
+	status   []Status
+	inRank   []int32 // arrival rank of the last traversed edge, -1 before the first move
+	qrank    []int32 // rank of the queue the agent occupies, -1 when staying
+	qnext    []int32 // successor in the agent's FIFO queue, -1 at the tail
+	stayNext []int32 // intrusive per-node staying list links
+	stayPrev []int32
+	home     []ring.NodeID
+	moves    []int32
+	mailbox  [][]Message
+	obsHash  []uint64 // folded observation history (Options.TrackState)
+	mailHash []uint64 // folded pending mailbox payloads
+	meter    []memmeter.Meter
+	program  []Program
+	frame    []Frame      // non-nil: the agent steps as a frame
+	coro     []*coroState // lazily created for non-frame agents
+	apis     []apiState   // the per-agent API arena (one backing array)
+	agentErr []error
+
 	// The per-edge link FIFOs are intrusive singly-linked lists over
 	// agent ids, indexed by the edge's arrival rank: qhead/qtail per
 	// rank, qnext per agent. An agent occupies at most one queue at a
 	// time, so a single next-pointer array serves every queue and
-	// push/pop never allocate; rank indexing keeps the enabled-choice
-	// scan on rank-parallel arrays with no edge-id indirection.
+	// push/pop never allocate.
 	qhead []int32 // per edge rank: first agent in transit along it, -1 if none
 	qtail []int32 // per edge rank: last agent in transit along it, -1 if none
-	qnext []int32 // per agent: successor in its queue, -1 at the tail
 
-	occupied []int   // arrival ranks of edges with non-empty queues, ascending
-	wakeable []int   // waiting agents with non-empty mailboxes, ascending
-	staying  [][]int // staying[v] = waiting/halted agent ids at node v
-	choices  []Choice
+	// stayHead heads the intrusive doubly-linked list of waiting/halted
+	// agents per node (stayNext/stayPrev above), replacing the per-node
+	// []int slices: co-location queries stay O(co-located agents) and
+	// the per-node footprint drops to one int32.
+	stayHead []int32
+
+	occupied *bitset // edge ranks with non-empty queues
+	wakeable *bitset // waiting agents with non-empty mailboxes
+	// ready holds the agent ids the round-robin fast path picks from:
+	// the heads of occupied *up* edges plus the wakeable agents. Once
+	// initNodes drains this is exactly the enabled-agent set (each
+	// enabled choice names a distinct agent: arrival heads are
+	// in-transit, wakeable agents are waiting); while init suppression
+	// is active it is a superset, so the fast path stays off until then.
+	ready   *bitset
+	choices []Choice
 
 	// The paper's initial configuration puts each agent in the incoming
 	// buffer of its home node, guaranteeing it takes the first atomic
@@ -156,18 +173,18 @@ type Engine struct {
 	// slip past, so the home buffer is modeled explicitly: initPending
 	// holds each node's not-yet-activated resident, and arrivals into a
 	// node are suppressed until its resident has acted. initNodes keeps
-	// the pending home nodes ascending; once it drains (after at most k
-	// steps) enabledChoices takes the init-free fast path.
+	// the pending home nodes; once it drains (after at most k steps)
+	// enabledChoices takes the init-free fast path.
 	initPending []int32 // per node: resident agent awaiting first activation, -1 if none
-	initNodes   []int   // nodes with a pending resident, ascending
+	initNodes   *bitset // nodes with a pending resident
 
 	// Dynamic-edge state. The edge table itself is immutable; a failed
-	// edge is marked in down (indexed by arrival rank, allocated lazily
-	// at the first effective mutation, so static runs never touch it)
-	// and its queue freezes: the head's arrival leaves the enabled set
-	// while pushes still append. epoch counts effective mutations;
-	// faults holds the step-ordered schedule with faultIdx its cursor.
-	down      []bool
+	// edge is marked in down (a rank bitset allocated lazily at the
+	// first effective mutation, so static runs never touch it) and its
+	// queue freezes: the head's arrival leaves the enabled set while
+	// pushes still append. epoch counts effective mutations; faults
+	// holds the step-ordered schedule with faultIdx its cursor.
+	down      *bitset
 	downCount int
 	epoch     int
 	faults    FaultSchedule
@@ -233,18 +250,40 @@ func NewEngine(t Topology, homes []ring.NodeID, programs []Program, opts Options
 	e := &Engine{
 		et:       et,
 		tokens:   make([]int, n),
-		qhead:    make([]int32, m),
-		qtail:    make([]int32, m),
-		qnext:    make([]int32, k),
-		staying:  make([][]int, n),
-		occupied: make([]int, 0, k),
-		wakeable: make([]int, 0, k),
-		choices:  make([]Choice, 0, 2*k),
 		sched:    sched,
 		maxStep:  maxStep,
 		trace:    opts.Trace,
 		observer: opts.Observer,
 		track:    opts.TrackState,
+
+		node:     make([]ring.NodeID, k),
+		status:   make([]Status, k),
+		inRank:   make([]int32, k),
+		qrank:    make([]int32, k),
+		qnext:    make([]int32, k),
+		stayNext: make([]int32, k),
+		stayPrev: make([]int32, k),
+		home:     make([]ring.NodeID, k),
+		moves:    make([]int32, k),
+		mailbox:  make([][]Message, k),
+		meter:    make([]memmeter.Meter, k),
+		program:  make([]Program, k),
+		frame:    make([]Frame, k),
+		coro:     make([]*coroState, k),
+		apis:     make([]apiState, k),
+		agentErr: make([]error, k),
+
+		qhead:    make([]int32, m),
+		qtail:    make([]int32, m),
+		stayHead: make([]int32, n),
+
+		occupied: newBitset(m),
+		wakeable: newBitset(k),
+		ready:    newBitset(k),
+		choices:  make([]Choice, 0, 2*k),
+
+		initPending: make([]int32, n),
+		initNodes:   newBitset(n),
 	}
 	if len(opts.Faults) > 0 {
 		if err := opts.Faults.validate(et); err != nil {
@@ -255,22 +294,27 @@ func NewEngine(t Topology, homes []ring.NodeID, programs []Program, opts Options
 	for i := 0; i < m; i++ {
 		e.qhead[i], e.qtail[i] = -1, -1
 	}
-	e.initPending = make([]int32, n)
-	for v := range e.initPending {
+	for v := 0; v < n; v++ {
 		e.initPending[v] = -1
+		e.stayHead[v] = -1
 	}
-	e.agents = make([]*agentState, k)
+	if e.track {
+		e.obsHash = make([]uint64, k)
+		e.mailHash = make([]uint64, k)
+	}
 	for i := range homes {
-		a := &agentState{
-			id:      i,
-			home:    homes[i],
-			node:    homes[i],
-			status:  StatusInTransit, // in the home node's incoming buffer
-			inRank:  -1,
-			program: programs[i],
+		e.home[i] = homes[i]
+		e.node[i] = homes[i]
+		e.status[i] = StatusInTransit // in the home node's incoming buffer
+		e.inRank[i] = -1
+		e.qrank[i] = -1
+		e.program[i] = programs[i]
+		if !opts.ForceCoroutine {
+			if fr, ok := programs[i].(Framer); ok {
+				e.frame[i] = fr.Frame()
+			}
 		}
-		a.api = &apiState{e: e, a: a}
-		e.agents[i] = a
+		e.apis[i] = apiState{e: e, id: i}
 		// The initial configuration stores each agent in the incoming
 		// buffer of its home node, which blocks link arrivals into that
 		// node until the resident has taken its first atomic action —
@@ -278,7 +322,7 @@ func NewEngine(t Topology, homes []ring.NodeID, programs []Program, opts Options
 		// which on the ring coincides with sitting at the head of the
 		// node's single link FIFO.
 		e.initPending[homes[i]] = int32(i)
-		e.initNodes = insertSorted(e.initNodes, int(homes[i]))
+		e.initNodes.add(int(homes[i]))
 	}
 	return e, nil
 }
@@ -286,13 +330,33 @@ func NewEngine(t Topology, homes []ring.NodeID, programs []Program, opts Options
 // Run executes until quiescence (no enabled atomic action) and returns
 // the outcome. It is an error for any agent program to fail or for the
 // step limit to be reached.
+//
+// Under a round-robin scheduler, once every agent has taken its first
+// home activation, Run switches to a fast path that never materializes
+// the choice list: the ready bitset is exactly the enabled-agent set,
+// and the round-robin pick — the minimum cyclic distance from the last
+// scheduled agent — is the cyclic next set bit after it. The fast path
+// falls back to the generic decision loop at every boundary condition
+// (pending faults, step limit, drained ready set), which alone decides
+// quiescence; both paths share the scheduler's cursor, so the
+// interleaving is bit-identical to picking from the materialized list.
 func (e *Engine) Run() (Result, error) {
 	var runErr error
 	if e.observer != nil {
 		e.observer(e.snapshot())
 	}
+	rr, fast := e.sched.(*RoundRobin)
 	for {
 		e.applyDueFaults()
+		if fast && e.observer == nil && e.initNodes.count == 0 && e.ready.count > 0 && e.steps < e.maxStep {
+			if err := e.runFast(rr); err != nil {
+				runErr = err
+				break
+			}
+			// Re-enter the generic loop for whatever stopped the fast
+			// path: a due fault, the step limit, or quiescence.
+			continue
+		}
 		choices := e.enabledChoices()
 		// A blocked configuration with mutations still pending is not
 		// quiescent: time passes, the next scheduled event fires on its
@@ -330,9 +394,9 @@ func (e *Engine) Run() (Result, error) {
 	e.shutdown()
 	res := e.result()
 	if runErr == nil {
-		for _, a := range e.agents {
-			if a.err != nil {
-				runErr = fmt.Errorf("agent %d: %w", a.id, a.err)
+		for id, err := range e.agentErr {
+			if err != nil {
+				runErr = fmt.Errorf("agent %d: %w", id, err)
 				break
 			}
 		}
@@ -340,39 +404,139 @@ func (e *Engine) Run() (Result, error) {
 	return res, runErr
 }
 
-// insertSorted adds v to the ascending slice s (v must not be present).
-func insertSorted(s []int, v int) []int {
-	i, _ := slices.BinarySearch(s, v)
-	return slices.Insert(s, i, v)
+// runFast is the round-robin steady-state loop: pick the cyclic next
+// ready agent, activate it, repeat — no choice list, no interface call
+// into the scheduler. It returns (for Run's generic loop to arbitrate)
+// before any decision point where a fault is due, the step limit is
+// reached, or no agent is enabled.
+func (e *Engine) runFast(rr *RoundRobin) error {
+	for e.ready.count > 0 && e.steps < e.maxStep {
+		if e.faultIdx < len(e.faults) && e.faults[e.faultIdx].Step <= e.steps {
+			return nil
+		}
+		id := e.ready.nextCyclic(rr.last + 1)
+		rr.last = id
+		var err error
+		if e.wakeable.has(id) {
+			err = e.activateWake(id)
+		} else {
+			err = e.activateArrival(id, int(e.qrank[id]))
+		}
+		if err != nil {
+			return err
+		}
+		e.steps++
+	}
+	return nil
 }
 
-// removeSorted deletes v from the ascending slice s (v must be present).
-func removeSorted(s []int, v int) []int {
-	i, _ := slices.BinarySearch(s, v)
-	return slices.Delete(s, i, i+1)
+// enabledChoices rebuilds the enabled-action list from the incremental
+// bitsets in the same deterministic order the schedulers are specified
+// against: arrivals (and initial home activations, which displace the
+// arrivals into their node) by destination node ascending — with ties
+// among a node's several in-edges broken by edge id — then wakes by
+// agent index ascending. The backing array is reused across steps, and
+// the init merge disappears entirely once every agent has started.
+//
+// Failed edges are skipped: their heads stay frozen in the queue and
+// re-enter the enabled set, in the same rank position, when the edge is
+// repaired.
+func (e *Engine) enabledChoices() []Choice {
+	out := e.choices[:0]
+	if e.initNodes.count == 0 {
+		if e.downCount == 0 {
+			for r := e.occupied.next(0); r != -1; r = e.occupied.next(r + 1) {
+				out = append(out, Choice{
+					Kind:  ChoiceArrival,
+					Agent: int(e.qhead[r]),
+					Node:  ring.NodeID(e.et.rankDest[r]),
+					Edge:  r,
+				})
+			}
+		} else {
+			for r := e.occupied.next(0); r != -1; r = e.occupied.next(r + 1) {
+				if e.down.has(r) {
+					continue
+				}
+				out = append(out, Choice{
+					Kind:  ChoiceArrival,
+					Agent: int(e.qhead[r]),
+					Node:  ring.NodeID(e.et.rankDest[r]),
+					Edge:  r,
+				})
+			}
+		}
+	} else {
+		r := e.occupied.next(0)
+		for v := e.initNodes.next(0); v != -1; v = e.initNodes.next(v + 1) {
+			for r != -1 && int(e.et.rankDest[r]) < v {
+				if !e.edgeDown(r) {
+					out = append(out, Choice{
+						Kind:  ChoiceArrival,
+						Agent: int(e.qhead[r]),
+						Node:  ring.NodeID(e.et.rankDest[r]),
+						Edge:  r,
+					})
+				}
+				r = e.occupied.next(r + 1)
+			}
+			// The resident's first activation is the node's only enabled
+			// action: link arrivals into v stay suppressed behind it.
+			out = append(out, Choice{Kind: ChoiceArrival, Agent: int(e.initPending[v]), Node: ring.NodeID(v), Edge: -1})
+			for r != -1 && int(e.et.rankDest[r]) == v {
+				r = e.occupied.next(r + 1)
+			}
+		}
+		for ; r != -1; r = e.occupied.next(r + 1) {
+			if e.edgeDown(r) {
+				continue
+			}
+			out = append(out, Choice{
+				Kind:  ChoiceArrival,
+				Agent: int(e.qhead[r]),
+				Node:  ring.NodeID(e.et.rankDest[r]),
+				Edge:  r,
+			})
+		}
+	}
+	for id := e.wakeable.next(0); id != -1; id = e.wakeable.next(id + 1) {
+		out = append(out, Choice{Kind: ChoiceWake, Agent: id, Node: e.node[id], Edge: -1})
+	}
+	e.choices = out
+	return out
 }
 
 // enqueue appends agent id to the FIFO of the rank-r edge, registering
-// the edge as occupied if its queue was empty.
+// the edge as occupied — and its new head as ready, when the edge is up
+// — if its queue was empty.
 func (e *Engine) enqueue(r, id int) {
 	if e.qhead[r] == -1 {
-		e.occupied = insertSorted(e.occupied, r)
 		e.qhead[r] = int32(id)
+		e.occupied.add(r)
+		if !e.edgeDown(r) {
+			e.ready.add(id)
+		}
 	} else {
 		e.qnext[e.qtail[r]] = int32(id)
 	}
 	e.qtail[r] = int32(id)
 	e.qnext[id] = -1
+	e.qrank[id] = int32(r)
 }
 
 // dequeue pops the head of the FIFO of the rank-r edge, deregistering
-// the edge when its queue drains.
+// the edge when its queue drains and promoting the next agent into the
+// ready set otherwise.
 func (e *Engine) dequeue(r int) int {
 	id := e.qhead[r]
 	e.qhead[r] = e.qnext[id]
+	e.ready.remove(int(id))
+	e.qrank[id] = -1
 	if e.qhead[r] == -1 {
 		e.qtail[r] = -1
-		e.occupied = removeSorted(e.occupied, r)
+		e.occupied.remove(r)
+	} else if !e.edgeDown(r) {
+		e.ready.add(int(e.qhead[r]))
 	}
 	return int(id)
 }
@@ -386,184 +550,135 @@ func (e *Engine) queueSnapshot(r int) []int {
 	return out
 }
 
-func (e *Engine) addStaying(a *agentState) {
-	e.staying[a.node] = append(e.staying[a.node], a.id)
-}
-
-func (e *Engine) removeStaying(a *agentState) {
-	s := e.staying[a.node]
-	for i, id := range s {
-		if id == a.id {
-			e.staying[a.node] = append(s[:i], s[i+1:]...)
-			return
-		}
+// addStaying links agent id into its node's staying list. Insertion
+// order (here: LIFO) is invisible: every consumer — co-location counts,
+// broadcast fan-out, snapshot building — is order-independent.
+func (e *Engine) addStaying(id int) {
+	v := e.node[id]
+	h := e.stayHead[v]
+	e.stayNext[id] = h
+	e.stayPrev[id] = -1
+	if h != -1 {
+		e.stayPrev[h] = int32(id)
 	}
+	e.stayHead[v] = int32(id)
 }
 
-// enabledChoices rebuilds the enabled-action list from the incremental
-// indexes in the same deterministic order the schedulers were specified
-// against: arrivals (and initial home activations, which displace the
-// arrivals into their node) by destination node ascending — with ties
-// among a node's several in-edges broken by edge id, bit-identical to
-// the pre-topology engine on in-degree-1 substrates — then wakes by
-// agent index ascending. The backing array is reused across steps, and
-// the init merge disappears entirely once every agent has started.
-//
-// Failed edges are skipped: their heads stay frozen in the queue and
-// re-enter the enabled set, in the same rank position, when the edge is
-// repaired. The all-up hot path is kept branch-free per edge — the
-// compiler cannot hoist the down-mask load past the appends (the slice
-// could alias), and a per-edge check measurably slows large static
-// runs — so the down-aware scan is a separate loop entered only while
-// at least one edge is failed.
-func (e *Engine) enabledChoices() []Choice {
-	out := e.choices[:0]
-	if len(e.initNodes) == 0 {
-		if e.downCount == 0 {
-			for _, r := range e.occupied {
-				out = append(out, Choice{
-					Kind:  ChoiceArrival,
-					Agent: int(e.qhead[r]),
-					Node:  ring.NodeID(e.et.rankDest[r]),
-					Edge:  r,
-				})
-			}
-		} else {
-			for _, r := range e.occupied {
-				if e.down[r] {
-					continue
-				}
-				out = append(out, Choice{
-					Kind:  ChoiceArrival,
-					Agent: int(e.qhead[r]),
-					Node:  ring.NodeID(e.et.rankDest[r]),
-					Edge:  r,
-				})
-			}
-		}
+func (e *Engine) removeStaying(id int) {
+	if prev := e.stayPrev[id]; prev == -1 {
+		e.stayHead[e.node[id]] = e.stayNext[id]
 	} else {
-		oi := 0
-		for _, v := range e.initNodes {
-			for oi < len(e.occupied) {
-				r := e.occupied[oi]
-				if int(e.et.rankDest[r]) >= v {
-					break
-				}
-				oi++
-				if e.edgeDown(r) {
-					continue
-				}
-				out = append(out, Choice{
-					Kind:  ChoiceArrival,
-					Agent: int(e.qhead[r]),
-					Node:  ring.NodeID(e.et.rankDest[r]),
-					Edge:  r,
-				})
-			}
-			// The resident's first activation is the node's only enabled
-			// action: link arrivals into v stay suppressed behind it.
-			out = append(out, Choice{Kind: ChoiceArrival, Agent: int(e.initPending[v]), Node: ring.NodeID(v), Edge: -1})
-			for oi < len(e.occupied) && int(e.et.rankDest[e.occupied[oi]]) == v {
-				oi++
-			}
-		}
-		for ; oi < len(e.occupied); oi++ {
-			r := e.occupied[oi]
-			if e.edgeDown(r) {
-				continue
-			}
-			out = append(out, Choice{
-				Kind:  ChoiceArrival,
-				Agent: int(e.qhead[r]),
-				Node:  ring.NodeID(e.et.rankDest[r]),
-				Edge:  r,
-			})
-		}
+		e.stayNext[prev] = e.stayNext[id]
 	}
-	for _, id := range e.wakeable {
-		out = append(out, Choice{Kind: ChoiceWake, Agent: id, Node: e.agents[id].node, Edge: -1})
+	if next := e.stayNext[id]; next != -1 {
+		e.stayPrev[next] = e.stayPrev[id]
 	}
-	e.choices = out
-	return out
 }
 
-// activate performs one atomic action for the chosen agent.
+// activate performs one atomic action for the chosen agent (the generic
+// decision loop's entry; the fast path calls the kind-specific forms
+// directly).
 func (e *Engine) activate(c Choice) error {
-	a := e.agents[c.Agent]
-	wasStaying := false
 	switch c.Kind {
 	case ChoiceArrival:
 		if c.Edge == -1 {
 			// First activation out of the home buffer: a residency, not
 			// a link traversal (ArrivalPort stays -1), which unblocks
 			// link arrivals into the node.
-			if int(c.Node) >= len(e.initPending) || e.initPending[c.Node] != int32(a.id) {
+			if int(c.Node) >= len(e.initPending) || e.initPending[c.Node] != int32(c.Agent) {
 				return fmt.Errorf("%w: init choice desynchronized", ErrBadSetup)
 			}
 			e.initPending[c.Node] = -1
-			e.initNodes = removeSorted(e.initNodes, int(c.Node))
-		} else {
-			if c.Edge < 0 || c.Edge >= e.et.edges() || e.qhead[c.Edge] != int32(a.id) {
-				return fmt.Errorf("%w: arrival choice desynchronized", ErrBadSetup)
-			}
-			e.dequeue(c.Edge)
-			a.node = ring.NodeID(e.et.rankDest[c.Edge])
-			a.inRank = int32(c.Edge)
+			e.initNodes.remove(int(c.Node))
+			e.traceEvent(c.Agent, "arrive", "")
+			return e.finishAction(c.Agent, false)
 		}
-		e.traceEvent(a, "arrive", "")
+		if c.Edge < 0 || c.Edge >= e.et.edges() || e.qhead[c.Edge] != int32(c.Agent) {
+			return fmt.Errorf("%w: arrival choice desynchronized", ErrBadSetup)
+		}
+		return e.activateArrival(c.Agent, c.Edge)
 	case ChoiceWake:
-		wasStaying = true
-		e.wakeable = removeSorted(e.wakeable, a.id)
-		e.traceEvent(a, "wake", "")
+		return e.activateWake(c.Agent)
 	default:
 		return fmt.Errorf("%w: unknown choice kind %d", ErrBadSetup, c.Kind)
 	}
-	// Step 2 of the atomic action: deliver all queued messages. Whatever
-	// the program does not read is consumed anyway.
-	e.delivered += len(a.mailbox)
-	a.api.inbox = a.mailbox
-	a.mailbox = nil
-	a.mailHash = 0
+}
 
-	ev, ok := e.resume(a)
+// activateArrival pops agent id off the rank-r edge it heads and runs
+// one atomic action at the destination.
+func (e *Engine) activateArrival(id, r int) error {
+	e.dequeue(r)
+	e.node[id] = ring.NodeID(e.et.rankDest[r])
+	e.inRank[id] = int32(r)
+	e.traceEvent(id, "arrive", "")
+	return e.finishAction(id, false)
+}
+
+// activateWake delivers a staying agent's mailbox and runs one atomic
+// action in place.
+func (e *Engine) activateWake(id int) error {
+	e.wakeable.remove(id)
+	e.ready.remove(id)
+	e.traceEvent(id, "wake", "")
+	return e.finishAction(id, true)
+}
+
+// finishAction is steps 2-4 of the atomic action: deliver all queued
+// messages, resume the program (frame step or coroutine) until it ends
+// the action, and apply the outcome.
+func (e *Engine) finishAction(id int, wasStaying bool) error {
+	// Step 2: deliver all queued messages. Whatever the program does not
+	// read is consumed anyway. (Arrivals always find an empty mailbox —
+	// only staying agents receive broadcasts — so this is free on the
+	// steady-state path.)
+	if mb := e.mailbox[id]; mb != nil {
+		e.delivered += len(mb)
+		e.apis[id].inbox = mb
+		e.mailbox[id] = nil
+		if e.track {
+			e.mailHash[id] = 0
+		}
+	}
+
+	ev, ok := e.resume(id)
 	if !ok {
-		return fmt.Errorf("%w: agent %d coroutine exhausted", ErrBadSetup, a.id)
+		return fmt.Errorf("%w: agent %d coroutine exhausted", ErrBadSetup, id)
 	}
 	// Unconsumed messages vanish at the end of the atomic action.
-	a.api.inbox = nil
+	e.apis[id].inbox = nil
 	switch ev.kind {
 	case yieldMove:
-		// The port was validated inside MoveVia before yielding, so the
-		// lookup cannot go out of bounds.
-		r := int(e.et.rank[int(e.et.start[a.node])+ev.port])
-		a.moves++
-		a.status = StatusInTransit
+		// The port was validated inside MoveVia (or the frame dispatch)
+		// before yielding, so the lookup cannot go out of bounds.
+		r := int(e.et.rank[int(e.et.start[e.node[id]])+ev.port])
+		e.moves[id]++
+		e.status[id] = StatusInTransit
 		if wasStaying {
-			e.removeStaying(a)
+			e.removeStaying(id)
 		}
-		e.enqueue(r, a.id)
+		e.enqueue(r, id)
 		if e.trace != nil {
 			detail := ""
 			if ev.port != 0 {
 				detail = fmt.Sprintf("via port %d", ev.port)
 			}
-			e.traceEvent(a, "move", detail)
+			e.traceEvent(id, "move", detail)
 		}
 	case yieldAwait:
-		a.status = StatusWaiting
+		e.status[id] = StatusWaiting
 		if !wasStaying {
-			e.addStaying(a)
+			e.addStaying(id)
 		}
-		e.traceEvent(a, "await", "")
+		e.traceEvent(id, "await", "")
 	case yieldDone:
-		a.status = StatusHalted
-		a.err = ev.err
+		e.status[id] = StatusHalted
+		e.agentErr[id] = ev.err
 		if !wasStaying {
-			e.addStaying(a)
+			e.addStaying(id)
 		}
-		e.traceEvent(a, "halt", "")
+		e.traceEvent(id, "halt", "")
 		if ev.err != nil {
-			return fmt.Errorf("agent %d failed: %w", a.id, ev.err)
+			return fmt.Errorf("agent %d failed: %w", id, ev.err)
 		}
 	default:
 		return fmt.Errorf("%w: unknown yield kind %d", ErrBadSetup, ev.kind)
@@ -571,14 +686,23 @@ func (e *Engine) activate(c Choice) error {
 	return nil
 }
 
-// resume runs the agent's coroutine until its next yield. The coroutine
-// is created lazily on the first activation; iter.Pull's runtime-backed
-// goroutine switch makes the engine↔agent handoff a direct transfer of
-// control instead of two channel round-trips through the Go scheduler.
-func (e *Engine) resume(a *agentState) (yieldEvent, bool) {
-	if a.next == nil {
-		a.next, a.stop = iter.Pull(func(yield func(yieldEvent) bool) {
-			a.yieldFn = yield
+// resume runs the agent until it ends the current atomic action: one
+// Step of its frame when it has one, else its coroutine until the next
+// yield. The coroutine is created lazily on the first activation;
+// iter.Pull's runtime-backed goroutine switch makes the engine↔agent
+// handoff a direct transfer of control instead of two channel
+// round-trips through the Go scheduler.
+func (e *Engine) resume(id int) (yieldEvent, bool) {
+	if f := e.frame[id]; f != nil {
+		return e.stepFrame(id, f), true
+	}
+	c := e.coro[id]
+	if c == nil {
+		c = &coroState{}
+		e.coro[id] = c
+		api := &e.apis[id]
+		c.next, c.stop = iter.Pull(func(yield func(yieldEvent) bool) {
+			c.yield = yield
 			defer func() {
 				if r := recover(); r != nil {
 					if err, ok := r.(error); ok && errors.Is(err, errStopped) {
@@ -589,40 +713,86 @@ func (e *Engine) resume(a *agentState) (yieldEvent, bool) {
 					yield(yieldEvent{kind: yieldDone, err: fmt.Errorf("program panic: %v", r)})
 				}
 			}()
-			err := a.program.Run(a.api)
+			err := e.program[id].Run(api)
 			yield(yieldEvent{kind: yieldDone, err: err})
 		})
 	}
-	return a.next()
+	return c.next()
+}
+
+// stepFrame advances a frame agent by one atomic action and translates
+// the returned Action into the engine's yield form, folding the
+// opMove/opAwait observation opcodes exactly where the blocking API
+// calls fold them on the coroutine path (after every in-action
+// observation, before the action ends).
+func (e *Engine) stepFrame(id int, f Frame) (ev yieldEvent) {
+	defer func() {
+		if r := recover(); r != nil {
+			ev = yieldEvent{kind: yieldDone, err: fmt.Errorf("program panic: %v", r)}
+		}
+	}()
+	act := f.Step(&e.apis[id])
+	switch act.Kind {
+	case ActionMove:
+		if deg := e.et.outDegree(e.node[id]); act.Port < 0 || act.Port >= deg {
+			// The same program error an out-of-range MoveVia raises
+			// through the coroutine recover wrapper.
+			return yieldEvent{kind: yieldDone, err: fmt.Errorf("program panic: %v",
+				fmt.Errorf("move via port %d at node with out-degree %d", act.Port, deg))}
+		}
+		if e.track {
+			e.obsHash[id] = fold(fold(e.obsHash[id], opMove), uint64(act.Port))
+		}
+		return yieldEvent{kind: yieldMove, port: act.Port}
+	case ActionAwait:
+		if e.track {
+			e.obsHash[id] = fold(e.obsHash[id], opAwait)
+		}
+		return yieldEvent{kind: yieldAwait}
+	case ActionDone:
+		return yieldEvent{kind: yieldDone, err: act.Err}
+	default:
+		return yieldEvent{kind: yieldDone, err: fmt.Errorf("frame returned unknown action kind %d", act.Kind)}
+	}
 }
 
 // shutdown retires all agent coroutines (those parked in a yield at
-// quiescence unwind via the errStopped sentinel).
+// quiescence unwind via the errStopped sentinel). Frame agents have
+// nothing to unwind.
 func (e *Engine) shutdown() {
-	for _, a := range e.agents {
-		if a.stop != nil {
-			a.stop()
+	for _, c := range e.coro {
+		if c != nil {
+			c.stop()
 		}
 	}
 }
 
-func (e *Engine) traceEvent(a *agentState, kind, detail string) {
+func (e *Engine) traceEvent(id int, kind, detail string) {
 	if e.trace != nil {
-		e.trace.add(Event{Step: e.steps, Agent: a.id, Node: a.node, Kind: kind, Detail: detail})
+		e.trace.add(Event{Step: e.steps, Agent: id, Node: e.node[id], Kind: kind, Detail: detail})
 	}
 }
 
-// apiState implements API for one agent.
+// apiState implements API for one agent. The engine allocates all k of
+// them in one backing array (the API arena): frame agents carry no
+// other per-activation state, so the steady-state loop creates nothing.
 type apiState struct {
 	e     *Engine
-	a     *agentState
+	id    int
 	inbox []Message
 }
 
 var _ API = (*apiState)(nil)
 
 func (p *apiState) yieldAndWait(ev yieldEvent) {
-	if !p.a.yieldFn(ev) {
+	c := p.e.coro[p.id]
+	if c == nil {
+		// A Frame called a blocking API method: there is no coroutine to
+		// suspend. Abort the agent with a program error (the frame
+		// dispatch recovers this panic).
+		panic(fmt.Errorf("frame agent called a blocking API method"))
+	}
+	if !c.yield(ev) {
 		panic(errStopped)
 	}
 }
@@ -632,22 +802,22 @@ func (p *apiState) Move() { p.MoveVia(0) }
 
 // MoveVia implements API.
 func (p *apiState) MoveVia(port int) {
-	if deg := p.e.et.outDegree(p.a.node); port < 0 || port >= deg {
+	if deg := p.e.et.outDegree(p.e.node[p.id]); port < 0 || port >= deg {
 		// Unwinds the coroutine; the resume wrapper converts the panic
 		// into a program failure for this agent.
 		panic(fmt.Errorf("move via port %d at node with out-degree %d", port, deg))
 	}
 	if p.e.track {
-		p.a.obsHash = fold(fold(p.a.obsHash, opMove), uint64(port))
+		p.e.obsHash[p.id] = fold(fold(p.e.obsHash[p.id], opMove), uint64(port))
 	}
 	p.yieldAndWait(yieldEvent{kind: yieldMove, port: port})
 }
 
 // OutDegree implements API.
 func (p *apiState) OutDegree() int {
-	deg := p.e.et.outDegree(p.a.node)
+	deg := p.e.et.outDegree(p.e.node[p.id])
 	if p.e.track {
-		p.a.obsHash = fold(fold(p.a.obsHash, opOutDegree), uint64(deg))
+		p.e.obsHash[p.id] = fold(fold(p.e.obsHash[p.id], opOutDegree), uint64(deg))
 	}
 	return deg
 }
@@ -655,11 +825,11 @@ func (p *apiState) OutDegree() int {
 // ArrivalPort implements API.
 func (p *apiState) ArrivalPort() int {
 	port := -1
-	if p.a.inRank >= 0 {
-		port = int(p.e.et.rankRev[p.a.inRank])
+	if r := p.e.inRank[p.id]; r >= 0 {
+		port = int(p.e.et.rankRev[r])
 	}
 	if p.e.track {
-		p.a.obsHash = fold(fold(p.a.obsHash, opArrivalPort), uint64(port+1))
+		p.e.obsHash[p.id] = fold(fold(p.e.obsHash[p.id], opArrivalPort), uint64(port+1))
 	}
 	return port
 }
@@ -667,17 +837,17 @@ func (p *apiState) ArrivalPort() int {
 // ReleaseToken implements API.
 func (p *apiState) ReleaseToken() {
 	if p.e.track {
-		p.a.obsHash = fold(p.a.obsHash, opRelease)
+		p.e.obsHash[p.id] = fold(p.e.obsHash[p.id], opRelease)
 	}
-	p.e.tokens[p.a.node]++
-	p.e.traceEvent(p.a, "token", "")
+	p.e.tokens[p.e.node[p.id]]++
+	p.e.traceEvent(p.id, "token", "")
 }
 
 // TokensHere implements API.
 func (p *apiState) TokensHere() int {
-	t := p.e.tokens[p.a.node]
+	t := p.e.tokens[p.e.node[p.id]]
 	if p.e.track {
-		p.a.obsHash = fold(fold(p.a.obsHash, opTokens), uint64(t))
+		p.e.obsHash[p.id] = fold(fold(p.e.obsHash[p.id], opTokens), uint64(t))
 	}
 	return t
 }
@@ -685,13 +855,13 @@ func (p *apiState) TokensHere() int {
 // AgentsHere implements API.
 func (p *apiState) AgentsHere() int {
 	count := 0
-	for _, id := range p.e.staying[p.a.node] {
-		if id != p.a.id {
+	for id := p.e.stayHead[p.e.node[p.id]]; id != -1; id = p.e.stayNext[id] {
+		if int(id) != p.id {
 			count++
 		}
 	}
 	if p.e.track {
-		p.a.obsHash = fold(fold(p.a.obsHash, opAgents), uint64(count))
+		p.e.obsHash[p.id] = fold(fold(p.e.obsHash[p.id], opAgents), uint64(count))
 	}
 	return count
 }
@@ -703,27 +873,27 @@ func (p *apiState) Broadcast(msg Message) {
 	var payload uint64
 	if e.track {
 		payload = hashPayload(msg)
-		p.a.obsHash = fold(fold(p.a.obsHash, opBroadcast), payload)
+		e.obsHash[p.id] = fold(fold(e.obsHash[p.id], opBroadcast), payload)
 	}
-	for _, id := range e.staying[p.a.node] {
-		if id == p.a.id {
+	for id := e.stayHead[e.node[p.id]]; id != -1; id = e.stayNext[id] {
+		if int(id) == p.id {
 			continue
 		}
 		// Halted agents never change state again; messages to them are
 		// sent but ignored (the model permits sending, the recipient just
 		// never reacts).
-		other := e.agents[id]
-		if other.status == StatusWaiting {
-			if len(other.mailbox) == 0 {
-				e.wakeable = insertSorted(e.wakeable, id)
+		if e.status[id] == StatusWaiting {
+			if len(e.mailbox[id]) == 0 {
+				e.wakeable.add(int(id))
+				e.ready.add(int(id))
 			}
-			other.mailbox = append(other.mailbox, msg)
+			e.mailbox[id] = append(e.mailbox[id], msg)
 			if e.track {
-				other.mailHash = fold(other.mailHash, payload)
+				e.mailHash[id] = fold(e.mailHash[id], payload)
 			}
 		}
 	}
-	e.traceEvent(p.a, "broadcast", "")
+	e.traceEvent(p.id, "broadcast", "")
 }
 
 // Messages implements API.
@@ -731,11 +901,11 @@ func (p *apiState) Messages() []Message {
 	out := p.inbox
 	p.inbox = nil
 	if p.e.track {
-		h := fold(fold(p.a.obsHash, opMessages), uint64(len(out)))
+		h := fold(fold(p.e.obsHash[p.id], opMessages), uint64(len(out)))
 		for _, m := range out {
 			h = fold(h, hashPayload(m))
 		}
-		p.a.obsHash = h
+		p.e.obsHash[p.id] = h
 	}
 	return out
 }
@@ -746,11 +916,11 @@ func (p *apiState) AwaitMessages() []Message {
 		return p.Messages()
 	}
 	if p.e.track {
-		p.a.obsHash = fold(p.a.obsHash, opAwait)
+		p.e.obsHash[p.id] = fold(p.e.obsHash[p.id], opAwait)
 	}
 	p.yieldAndWait(yieldEvent{kind: yieldAwait})
 	return p.Messages()
 }
 
 // Meter implements API.
-func (p *apiState) Meter() *memmeter.Meter { return &p.a.meter }
+func (p *apiState) Meter() *memmeter.Meter { return &p.e.meter[p.id] }

@@ -4,20 +4,47 @@ import (
 	"fmt"
 	"testing"
 
+	"agentring/internal/memmeter"
 	"agentring/internal/ring"
 	"agentring/internal/topo"
 )
+
+// reportEngineFootprint measures the live-heap bytes retained by one
+// fully constructed (but not yet run) n-node engine with k walkers and
+// reports it as bytes/node — the gated memory-growth metric of the
+// million-node benchmarks. Measured outside the timed region.
+func reportEngineFootprint(b *testing.B, n, k, walk int, homes []ring.NodeID) {
+	b.Helper()
+	_, fp := memmeter.HeapFootprint(func() any {
+		programs := make([]Program, k)
+		for j := range programs {
+			programs[j] = walker(walk)
+		}
+		e, err := NewEngine(ring.MustNew(n), homes, programs, Options{Scheduler: NewRoundRobin()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return e
+	})
+	b.ReportMetric(float64(fp)/float64(n), "bytes/node")
+}
 
 // BenchmarkSteadyState measures the engine's raw stepping rate: k agents
 // walking far enough that the run is dominated by the steady-state
 // arrival loop (no messages, no wakes). It reports steps/op so the
 // derived steps/sec (steps/op divided by ns/op) and B/op track the
-// engine's per-action overhead across ring sizes.
+// engine's per-action overhead across ring sizes, plus bytes/node (the
+// engine's retained construction footprint) so memory growth is a gated
+// metric. The n=1e6 row is the million-node gate; it is skipped under
+// -short so smoke runs stay fast.
 func BenchmarkSteadyState(b *testing.B) {
-	for _, n := range []int{1000, 10000, 100000} {
+	for _, n := range []int{1000, 10000, 100000, 1000000} {
 		const k = 100
 		walk := 2 * n / k // keep total work O(n) per run across sizes
 		b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
+			if n >= 1000000 && testing.Short() {
+				b.Skip("million-node row skipped in -short mode")
+			}
 			homes := make([]ring.NodeID, k)
 			for i := range homes {
 				homes[i] = ring.NodeID(i * (n / k))
@@ -43,10 +70,57 @@ func BenchmarkSteadyState(b *testing.B) {
 				}
 				steps = res.Steps
 			}
+			b.StopTimer()
+			// After the timed region: ResetTimer discards metrics
+			// reported before it.
+			reportEngineFootprint(b, n, k, walk, homes)
 			b.ReportMetric(float64(steps), "steps/op")
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*steps), "ns/step")
 		})
 	}
+}
+
+// BenchmarkSteadyStateXL is the ten-million-node row, separated from
+// BenchmarkSteadyState so its construction cost (hundreds of MB of edge
+// tables and queues) does not slow the smaller rows' iteration count.
+// Skipped under -short.
+func BenchmarkSteadyStateXL(b *testing.B) {
+	const n, k = 10000000, 100
+	walk := 2 * n / k
+	b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("ten-million-node row skipped in -short mode")
+		}
+		homes := make([]ring.NodeID, k)
+		for i := range homes {
+			homes[i] = ring.NodeID(i * (n / k))
+		}
+		var steps int
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			programs := make([]Program, k)
+			for j := range programs {
+				programs[j] = walker(walk)
+			}
+			r := ring.MustNew(n)
+			e, err := NewEngine(r, homes, programs, Options{Scheduler: NewRoundRobin()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			res, err := e.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			steps = res.Steps
+		}
+		b.StopTimer()
+		reportEngineFootprint(b, n, k, walk, homes)
+		b.ReportMetric(float64(steps), "steps/op")
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*steps), "ns/step")
+	})
 }
 
 // steadyState runs k walkers across the given substrate and reports
@@ -147,6 +221,28 @@ func BenchmarkSteadyStateBiRing(b *testing.B) {
 	}
 }
 
+// diagWalker alternates the two out-ports of a torus node for a fixed
+// number of moves, as a frame.
+type diagWalker struct{ walk, i int }
+
+func (d *diagWalker) Run(api API) error {
+	for ; d.i < d.walk; d.i++ {
+		api.MoveVia(d.i % 2)
+	}
+	return nil
+}
+
+func (d *diagWalker) Frame() Frame { return d }
+
+func (d *diagWalker) Step(api API) Action {
+	if d.i == d.walk {
+		return Action{Kind: ActionDone}
+	}
+	port := d.i % 2
+	d.i++
+	return Action{Kind: ActionMove, Port: port}
+}
+
 // BenchmarkSteadyStateTorus walks agents diagonally (alternating east
 // and south) across a twisted torus, so every step alternates between
 // the substrate's two port classes.
@@ -159,14 +255,7 @@ func BenchmarkSteadyStateTorus(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			steadyState(b, tor, func() Program {
-				return ProgramFunc(func(api API) error {
-					for i := 0; i < walk; i++ {
-						api.MoveVia(i % 2)
-					}
-					return nil
-				})
-			})
+			steadyState(b, tor, func() Program { return &diagWalker{walk: walk} })
 		})
 	}
 }

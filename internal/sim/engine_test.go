@@ -8,14 +8,28 @@ import (
 	"agentring/internal/ring"
 )
 
-// walker moves a fixed number of steps and halts.
-func walker(steps int) Program {
-	return ProgramFunc(func(api API) error {
-		for i := 0; i < steps; i++ {
-			api.Move()
-		}
-		return nil
-	})
+// walker moves a fixed number of steps and halts. It implements Framer,
+// so engine tests and benchmarks exercise the frame fast path by
+// default (ForceCoroutine covers the other).
+type walkerProgram struct{ left int }
+
+func walker(steps int) Program { return &walkerProgram{left: steps} }
+
+func (w *walkerProgram) Run(api API) error {
+	for ; w.left > 0; w.left-- {
+		api.Move()
+	}
+	return nil
+}
+
+func (w *walkerProgram) Frame() Frame { return w }
+
+func (w *walkerProgram) Step(api API) Action {
+	if w.left == 0 {
+		return Action{Kind: ActionDone}
+	}
+	w.left--
+	return Action{Kind: ActionMove, Port: 0}
 }
 
 func run(t *testing.T, n int, homes []ring.NodeID, programs []Program, opts Options) (Result, *ring.Ring) {

@@ -107,13 +107,22 @@ func (e *Engine) SetEdgeState(from ring.NodeID, port int, up bool) error {
 		// First effective mutation: materialize the per-rank state mask.
 		// Engines that never mutate never allocate it, keeping the
 		// static steady-state loop untouched.
-		e.down = make([]bool, e.et.edges())
+		e.down = newBitset(e.et.edges())
 	}
-	e.down[r] = !up
 	if up {
+		e.down.remove(r)
 		e.downCount--
+		// Repairing re-enables the frozen head's arrival.
+		if h := e.qhead[r]; h != -1 {
+			e.ready.add(int(h))
+		}
 	} else {
+		e.down.add(r)
 		e.downCount++
+		// Failing freezes the queue: the head leaves the enabled set.
+		if h := e.qhead[r]; h != -1 {
+			e.ready.remove(int(h))
+		}
 	}
 	e.epoch++
 	if e.trace != nil {
@@ -147,7 +156,7 @@ func (e *Engine) Epoch() int { return e.epoch }
 // edgeDown reports whether the rank-r edge is failed. The nil check
 // keeps the all-up fast path free of any per-edge state: engines
 // without mutations never allocate the mask.
-func (e *Engine) edgeDown(r int) bool { return e.down != nil && e.down[r] }
+func (e *Engine) edgeDown(r int) bool { return e.down != nil && e.down.has(r) }
 
 // applyDueFaults applies every scheduled event whose step has been
 // reached. Called before each decision point, so mutations land between

@@ -1,0 +1,70 @@
+package sim
+
+// ActionKind is how a Frame ends one atomic action.
+type ActionKind int
+
+// Frame actions, mirroring the three ways a coroutine Program yields.
+const (
+	// ActionMove moves the agent along Port (Move() is ActionMove with
+	// Port 0).
+	ActionMove ActionKind = iota + 1
+	// ActionAwait suspends the agent until a message arrives.
+	ActionAwait
+	// ActionDone halts the agent; Err, if non-nil, aborts the run.
+	ActionDone
+)
+
+// Action is the batched outcome of one Frame step: everything a
+// coroutine program communicates by blocking in Move/MoveVia or
+// AwaitMessages, returned as a value instead.
+type Action struct {
+	Kind ActionKind
+	Port int   // out-port for ActionMove
+	Err  error // program error for ActionDone
+}
+
+// Frame is the data-oriented form of a Program: a small resumable state
+// machine the engine steps once per activation, with no coroutine
+// switch. Step performs the local computation of one atomic action —
+// reading observations and broadcasting through api exactly as a
+// Program would — and returns how the action ends.
+//
+// Equivalence contract (what keeps frame and coroutine executions of
+// the same algorithm byte-identical in traces and state hashes):
+//
+//   - Step must make the same API call sequence the Program's Run makes
+//     between two consecutive blocking calls. The engine folds the
+//     opMove/opAwait observation opcodes for the returned Action
+//     itself, in the same position Move/MoveVia/AwaitMessages fold them
+//     before yielding.
+//   - Step must not call the blocking methods Move, MoveVia, or
+//     AwaitMessages (they suspend a coroutine that does not exist
+//     here); doing so aborts the agent with a program error.
+//   - Before returning ActionAwait, Step should drain Messages():
+//     AwaitMessages returns already-delivered messages without
+//     suspending, so a frame that suspends instead must first have
+//     observed an empty inbox to match. Messages left unread when Step
+//     returns are dropped, exactly as at the end of a coroutine action.
+//   - An out-of-range ActionMove port fails the agent with the same
+//     program error an out-of-range MoveVia raises.
+//
+// Frames exist for speed: the steady-state loop of a frame agent is a
+// plain method call into per-agent state allocated once at engine
+// construction, instead of an iter.Pull goroutine switch per step.
+// Algorithms whose control flow is inconvenient to invert (deep
+// message-driven loops) simply don't implement Framer and keep the
+// coroutine path; the engine mixes both in one run.
+type Frame interface {
+	Step(api API) Action
+}
+
+// Framer is optionally implemented by Programs that can execute as a
+// Frame. The engine calls Frame once per agent at construction and
+// steps the returned state machine instead of running the coroutine;
+// Run is then never called (it remains the reference semantics, and the
+// cross-check tests execute both forms and compare). Options.
+// ForceCoroutine disables the frame path engine-wide.
+type Framer interface {
+	Program
+	Frame() Frame
+}

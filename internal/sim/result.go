@@ -115,12 +115,13 @@ func (r Result) MaxPeakWords() int {
 }
 
 func (e *Engine) result() Result {
+	k := len(e.node)
 	res := Result{
 		Steps:             e.steps,
 		TotalMoves:        0,
 		MessagesSent:      e.sent,
 		MessagesDelivered: e.delivered,
-		Agents:            make([]AgentReport, len(e.agents)),
+		Agents:            make([]AgentReport, k),
 		Tokens:            slices.Clone(e.tokens),
 		QueuesEmpty:       true,
 		MailboxesEmpty:    true,
@@ -130,18 +131,18 @@ func (e *Engine) result() Result {
 	}
 	res.Epoch = e.epoch
 	res.Quiesced = e.quiesced
-	res.QueuesEmpty = len(e.occupied) == 0
-	for i, a := range e.agents {
+	res.QueuesEmpty = e.occupied.count == 0
+	for i := 0; i < k; i++ {
 		res.Agents[i] = AgentReport{
-			Home:      a.home,
-			Node:      a.node,
-			Moves:     a.moves,
-			Status:    a.status,
-			PeakWords: a.meter.Peak(),
-			Err:       a.err,
+			Home:      e.home[i],
+			Node:      e.node[i],
+			Moves:     int(e.moves[i]),
+			Status:    e.status[i],
+			PeakWords: e.meter[i].Peak(),
+			Err:       e.agentErr[i],
 		}
-		res.TotalMoves += a.moves
-		if a.status != StatusHalted && len(a.mailbox) > 0 {
+		res.TotalMoves += int(e.moves[i])
+		if e.status[i] != StatusHalted && len(e.mailbox[i]) > 0 {
 			res.MailboxesEmpty = false
 		}
 	}

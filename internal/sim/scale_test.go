@@ -75,3 +75,41 @@ func TestEngineScale(t *testing.T) {
 		t.Fatalf("scale run took %v", elapsed)
 	}
 }
+
+// TestEngineScaleMillion is the million-node smoke: construct a 1e6-node
+// ring, run 100 walkers through the steady-state fast path, and verify
+// the run quiesces with the right move count in bounded time. This is
+// the functional half of the n=1e6 benchmark gate — it proves the
+// data-oriented engine actually executes at this scale, not just that
+// it constructs cheaply. Skipped in -short mode.
+func TestEngineScaleMillion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-node smoke skipped in -short mode")
+	}
+	const n, k = 1000000, 100
+	homes := make([]ring.NodeID, k)
+	programs := make([]Program, k)
+	for i := range homes {
+		homes[i] = ring.NodeID(i * (n / k))
+		programs[i] = walker(2 * n / k)
+	}
+	r := ring.MustNew(n)
+	start := time.Now()
+	e, err := NewEngine(r, homes, programs, Options{Scheduler: NewRoundRobin()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMoves != k*(2*n/k) {
+		t.Fatalf("total moves = %d, want %d", res.TotalMoves, k*(2*n/k))
+	}
+	if !res.QueuesEmpty {
+		t.Fatal("queues not empty after quiescence")
+	}
+	if elapsed := time.Since(start); elapsed > 60*time.Second {
+		t.Fatalf("million-node run took %v", elapsed)
+	}
+}

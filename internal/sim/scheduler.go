@@ -151,7 +151,12 @@ const DefaultAdversaryBound = 8
 // tolerance.
 type Adversarial struct {
 	maxSkip int
-	skips   map[int]int
+	// skips is indexed by agent id (grown on demand); starved counts the
+	// agents currently at or beyond the fairness bound, so the common
+	// nobody-starved step skips the forced-candidate bookkeeping instead
+	// of scanning a map per choice.
+	skips   []int
+	starved int
 }
 
 // NewAdversarial returns an adversarial scheduler with the given
@@ -161,21 +166,34 @@ func NewAdversarial(maxSkip int) *Adversarial {
 	if maxSkip < 1 {
 		maxSkip = 1
 	}
-	return &Adversarial{maxSkip: maxSkip, skips: make(map[int]int)}
+	return &Adversarial{maxSkip: maxSkip}
 }
 
-// Pick implements Scheduler.
+// skipsFor returns the skip counter of agent id, growing the table on
+// first sight (new agents start at zero, exactly as the map did).
+func (s *Adversarial) skipsFor(id int) int {
+	if id >= len(s.skips) {
+		return 0
+	}
+	return s.skips[id]
+}
+
+// Pick implements Scheduler. One fused pass finds both candidates — the
+// longest-starved agent at or beyond the bound (latest wins ties, as
+// before) and the highest-index agent — and the forced half of the scan
+// only runs while someone is actually starved.
 func (s *Adversarial) Pick(_ int, choices []Choice) int {
 	pick := 0
-	// Forced pick: the longest-starved agent at or beyond the bound.
 	forced, forcedSkips := -1, 0
-	for i, c := range choices {
-		if sk := s.skips[c.Agent]; sk >= s.maxSkip && sk >= forcedSkips {
-			forced, forcedSkips = i, sk
+	if s.starved > 0 {
+		for i, c := range choices {
+			if sk := s.skipsFor(c.Agent); sk >= s.maxSkip && sk >= forcedSkips {
+				forced, forcedSkips = i, sk
+			}
+			if c.Agent > choices[pick].Agent {
+				pick = i
+			}
 		}
-	}
-	if forced >= 0 {
-		pick = forced
 	} else {
 		for i, c := range choices {
 			if c.Agent > choices[pick].Agent {
@@ -183,11 +201,23 @@ func (s *Adversarial) Pick(_ int, choices []Choice) int {
 			}
 		}
 	}
+	if forced >= 0 {
+		pick = forced
+	}
 	for i, c := range choices {
+		if c.Agent >= len(s.skips) {
+			s.skips = append(s.skips, make([]int, c.Agent+1-len(s.skips))...)
+		}
 		if i == pick {
+			if s.skips[c.Agent] >= s.maxSkip {
+				s.starved--
+			}
 			s.skips[c.Agent] = 0
 		} else {
 			s.skips[c.Agent]++
+			if s.skips[c.Agent] == s.maxSkip {
+				s.starved++
+			}
 		}
 	}
 	return pick

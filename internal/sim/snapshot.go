@@ -67,7 +67,7 @@ type Observer func(Configuration)
 // snapshot builds the current global configuration.
 func (e *Engine) snapshot() Configuration {
 	n := e.et.n
-	k := len(e.agents)
+	k := len(e.node)
 	cfg := Configuration{
 		Step:         e.steps,
 		Statuses:     make([]Status, k),
@@ -78,17 +78,20 @@ func (e *Engine) snapshot() Configuration {
 		EdgeQueues:   make([][]int, e.et.edges()),
 		Moves:        make([]int, k),
 	}
-	for i, a := range e.agents {
-		cfg.Statuses[i] = a.status
-		cfg.MailboxSizes[i] = len(a.mailbox)
-		cfg.Moves[i] = a.moves
-		if a.status == StatusWaiting || a.status == StatusHalted {
-			cfg.Staying[a.node] = append(cfg.Staying[a.node], i)
+	copy(cfg.Statuses, e.status)
+	for i := 0; i < k; i++ {
+		cfg.MailboxSizes[i] = len(e.mailbox[i])
+		cfg.Moves[i] = int(e.moves[i])
+		// Built from the agent arrays in index order (not from the
+		// intrusive staying lists), so Staying is canonical regardless of
+		// list insertion order.
+		if e.status[i] == StatusWaiting || e.status[i] == StatusHalted {
+			cfg.Staying[e.node[i]] = append(cfg.Staying[e.node[i]], i)
 		}
 	}
 	// Residents still awaiting their first activation head their home
 	// node's in-transit view: the initial configuration's home buffer.
-	for _, v := range e.initNodes {
+	for v := e.initNodes.next(0); v != -1; v = e.initNodes.next(v + 1) {
 		cfg.InTransit[v] = append(cfg.InTransit[v], int(e.initPending[v]))
 	}
 	for r := 0; r < e.et.edges(); r++ {
@@ -100,16 +103,14 @@ func (e *Engine) snapshot() Configuration {
 	cfg.Epoch = e.epoch
 	if e.downCount > 0 {
 		cfg.DownEdges = make([]int, 0, e.downCount)
-		for r, d := range e.down {
-			if d {
-				cfg.DownEdges = append(cfg.DownEdges, r)
-			}
+		for r := e.down.next(0); r != -1; r = e.down.next(r + 1) {
+			cfg.DownEdges = append(cfg.DownEdges, r)
 		}
 	}
 	if e.track {
 		cfg.AgentHashes = make([]uint64, k)
-		for i, a := range e.agents {
-			cfg.AgentHashes[i] = fold(a.obsHash, a.mailHash)
+		for i := 0; i < k; i++ {
+			cfg.AgentHashes[i] = fold(e.obsHash[i], e.mailHash[i])
 		}
 	}
 	return cfg
