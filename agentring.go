@@ -152,7 +152,36 @@ type Config struct {
 	// TraceCapacity, if positive, records up to that many execution
 	// events into Report.Trace.
 	TraceCapacity int
+	// TraceSink, if non-nil, receives every execution event as the run
+	// performs it — the streaming counterpart of TraceCapacity, for live
+	// observers (the agentringd daemon's events.subscribe feed) that
+	// must not buffer a whole run. Record is called synchronously from
+	// the engine loop, so implementations must be fast and non-blocking.
+	// A sink does not alter the run or Report.Trace in any way.
+	TraceSink TraceSink
 }
+
+// TraceEvent is one streamed execution event (see Config.TraceSink).
+// Agent events carry the acting agent's index; link mutations from a
+// fault schedule carry Agent == -1 and name the edge's tail node.
+type TraceEvent struct {
+	Step   int    `json:"step"`
+	Agent  int    `json:"agent"`
+	Node   int    `json:"node"`
+	Kind   string `json:"kind"` // arrive, wake, move, await, halt, token, broadcast, link-down, link-up
+	Detail string `json:"detail,omitempty"`
+}
+
+// TraceSink receives execution events as they happen.
+type TraceSink interface {
+	Record(TraceEvent)
+}
+
+// TraceFunc adapts a function to the TraceSink interface.
+type TraceFunc func(TraceEvent)
+
+// Record implements TraceSink.
+func (f TraceFunc) Record(ev TraceEvent) { f(ev) }
 
 // ErrConfig is wrapped by all configuration errors from Run.
 var ErrConfig = errors.New("agentring: invalid configuration")
@@ -208,10 +237,18 @@ func Run(alg Algorithm, cfg Config) (Report, error) {
 	if cfg.TraceCapacity > 0 {
 		trace = sim.NewTrace(cfg.TraceCapacity)
 	}
+	var sink sim.TraceSink
+	if cfg.TraceSink != nil {
+		public := cfg.TraceSink
+		sink = sim.FuncSink(func(ev sim.Event) {
+			public.Record(TraceEvent{Step: ev.Step, Agent: ev.Agent, Node: int(ev.Node), Kind: ev.Kind, Detail: ev.Detail})
+		})
+	}
 	engine, err := sim.NewEngine(st, homes, programs, sim.Options{
 		Scheduler: sched,
 		MaxSteps:  cfg.MaxSteps,
 		Trace:     trace,
+		Sink:      sink,
 		Faults:    faultSchedule(cfg.Faults),
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package agentring
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -14,7 +15,9 @@ type Job struct {
 
 // JobResult is the outcome of one batch job. Exactly one of Report or
 // Err is meaningful: Err mirrors what Run would have returned for the
-// same job, and a failed job never aborts the rest of the batch.
+// same job, and a failed job never aborts the rest of the batch. A job
+// skipped because BatchOptions.Context was cancelled carries the
+// context's error.
 type JobResult struct {
 	Job    Job
 	Report Report
@@ -26,6 +29,21 @@ type BatchOptions struct {
 	// Workers bounds the number of concurrently executing runs. Zero or
 	// negative selects runtime.GOMAXPROCS(0).
 	Workers int
+	// Context, if non-nil, makes the batch cancellable: once it is
+	// cancelled no further job starts, and every job not yet started
+	// gets the context's error as its JobResult.Err. Cancellation is
+	// checked between jobs — a run already executing finishes normally
+	// (individual runs are bounded by Config.MaxSteps, not wall-clock
+	// time), so the latency of a cancel is one in-flight run per worker.
+	Context context.Context
+	// OnResult, if non-nil, is invoked once per job as it completes,
+	// before RunBatch returns — the streaming view of the batch, used
+	// for live progress (NDJSON row emission, daemon job progress).
+	// Calls come from the worker goroutines, so completion order is
+	// nondeterministic and the callback must be safe for concurrent use;
+	// i is the job's input index, identical to its slot in the returned
+	// slice. Skipped (cancelled) jobs are reported through OnResult too.
+	OnResult func(i int, r JobResult)
 }
 
 // RunBatch executes many independent runs across a bounded worker pool
@@ -48,6 +66,10 @@ func RunBatch(jobs []Job, opts BatchOptions) []JobResult {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -59,8 +81,15 @@ func RunBatch(jobs []Job, opts BatchOptions) []JobResult {
 				if i >= len(jobs) {
 					return
 				}
-				rep, err := Run(jobs[i].Algorithm, jobs[i].Config)
-				results[i] = JobResult{Job: jobs[i], Report: rep, Err: err}
+				if err := ctx.Err(); err != nil {
+					results[i] = JobResult{Job: jobs[i], Err: err}
+				} else {
+					rep, err := Run(jobs[i].Algorithm, jobs[i].Config)
+					results[i] = JobResult{Job: jobs[i], Report: rep, Err: err}
+				}
+				if opts.OnResult != nil {
+					opts.OnResult(i, results[i])
+				}
 			}
 		}()
 	}

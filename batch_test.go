@@ -1,8 +1,11 @@
 package agentring_test
 
 import (
+	"context"
 	"errors"
 	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"agentring"
@@ -100,6 +103,78 @@ func TestSweepOrdersByConfig(t *testing.T) {
 		}
 		if !res.Report.Uniform {
 			t.Errorf("n=%d not uniform: %s", res.Job.Config.N, res.Report.Why)
+		}
+	}
+}
+
+func TestRunBatchContextCancel(t *testing.T) {
+	jobs := batchJobs(t, 30)
+	ctx, cancel := context.WithCancel(context.Background())
+	var fired atomic.Bool
+	results := agentring.RunBatch(jobs, agentring.BatchOptions{
+		Workers: 2,
+		Context: ctx,
+		OnResult: func(i int, r agentring.JobResult) {
+			// Cancel after the first completion: later jobs must be
+			// skipped with the context error instead of running.
+			if fired.CompareAndSwap(false, true) {
+				cancel()
+			}
+		},
+	})
+	defer cancel()
+	var ran, skipped int
+	for i, res := range results {
+		switch {
+		case res.Err == nil:
+			ran++
+		case errors.Is(res.Err, context.Canceled):
+			skipped++
+		default:
+			t.Fatalf("job %d: unexpected error %v", i, res.Err)
+		}
+	}
+	if ran == 0 {
+		t.Error("no job completed before the cancel")
+	}
+	if skipped == 0 {
+		t.Error("no job was skipped by the cancel")
+	}
+}
+
+func TestRunBatchPreCancelledSkipsEverything(t *testing.T) {
+	jobs := batchJobs(t, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i, res := range agentring.RunBatch(jobs, agentring.BatchOptions{Context: ctx}) {
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Errorf("job %d err = %v, want context.Canceled", i, res.Err)
+		}
+	}
+}
+
+func TestRunBatchOnResultStreamsEveryJob(t *testing.T) {
+	jobs := batchJobs(t, 12)
+	var mu sync.Mutex
+	seen := make(map[int]agentring.JobResult)
+	results := agentring.RunBatch(jobs, agentring.BatchOptions{
+		Workers: 4,
+		OnResult: func(i int, r agentring.JobResult) {
+			mu.Lock()
+			defer mu.Unlock()
+			if _, dup := seen[i]; dup {
+				t.Errorf("job %d reported twice", i)
+			}
+			seen[i] = r
+		},
+	})
+	if len(seen) != len(jobs) {
+		t.Fatalf("OnResult fired for %d jobs, want %d", len(seen), len(jobs))
+	}
+	for i := range jobs {
+		if !reflect.DeepEqual(seen[i].Report.Positions, results[i].Report.Positions) {
+			t.Errorf("job %d: streamed positions %v != returned %v",
+				i, seen[i].Report.Positions, results[i].Report.Positions)
 		}
 	}
 }

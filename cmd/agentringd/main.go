@@ -1,0 +1,120 @@
+// Command agentringd is the resident simulation service: a jobs engine
+// behind a JSON-RPC 2.0 Unix-socket API (see internal/rpc and
+// docs/PROTOCOL.md). Clients submit run/sweep/explore jobs, watch
+// progress and live trace events, and fetch results; the agentring CLI
+// (cmd/agentring) is the reference client.
+//
+// Usage:
+//
+//	agentringd                          # serve on the default socket
+//	agentringd -socket /tmp/ar.sock     # explicit socket path
+//	agentringd -workers 4 -runners 2    # bound per-job pool and job concurrency
+//	agentringd -max-queue 16 -quota 4   # tighter admission control
+//
+// The daemon exits 0 after a graceful drain: on SIGTERM/SIGINT or a
+// daemon.drain RPC it stops admitting jobs, cancels the queue, gives
+// running jobs -drain-timeout to finish, then shuts the socket down.
+// A stale socket file left by a crashed daemon is detected (nothing
+// answers it) and replaced; a live daemon on the socket makes startup
+// fail fast instead.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"agentring/internal/jobs"
+	"agentring/internal/rpc"
+)
+
+func main() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	if err := run(os.Args[1:], os.Stderr, sigs); err != nil {
+		fmt.Fprintln(os.Stderr, "agentringd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the daemon body, factored for tests: signals arrive on sigs
+// (tests inject; main wires SIGTERM/SIGINT) and a graceful drain —
+// signalled or requested over RPC — returns nil, the process's exit 0.
+func run(args []string, logw io.Writer, sigs <-chan os.Signal) error {
+	fs := flag.NewFlagSet("agentringd", flag.ContinueOnError)
+	var (
+		socket   = fs.String("socket", rpc.DefaultSocket(), "unix socket path to serve on")
+		workers  = fs.Int("workers", 0, "worker pool per job (0 = all cores)")
+		runners  = fs.Int("runners", 1, "jobs executing concurrently")
+		maxQueue = fs.Int("max-queue", 64, "admission bound on queued jobs")
+		quota    = fs.Int("quota", 8, "per-client bound on unfinished jobs")
+		drainTO  = fs.Duration("drain-timeout", 30*time.Second, "how long running jobs get to finish on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ln, err := claimSocket(*socket)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+
+	eng := jobs.New(jobs.Options{
+		Workers:     *workers,
+		Runners:     *runners,
+		MaxQueue:    *maxQueue,
+		ClientQuota: *quota,
+	})
+	srv := rpc.NewServer(eng, *socket)
+	fmt.Fprintf(logw, "agentringd: %s protocol %d listening on %s\n", rpc.Version, rpc.ProtocolVersion, *socket)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(logw, "agentringd: %v: draining (timeout %s)\n", sig, *drainTO)
+	case <-srv.DrainRequested():
+		fmt.Fprintf(logw, "agentringd: drain requested over RPC (timeout %s)\n", *drainTO)
+	case err := <-serveErr:
+		eng.Close()
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	eng.Drain(ctx)
+	srv.Close()
+	ln.Close()
+	eng.Close()
+	fmt.Fprintln(logw, "agentringd: drained, exiting")
+	return nil
+}
+
+// claimSocket binds the Unix socket, recovering from a stale file left
+// by a crashed daemon: if something answers a dial the socket is live
+// and startup fails fast; if nothing answers, the leftover file is
+// removed and the path reclaimed.
+func claimSocket(socket string) (net.Listener, error) {
+	if _, err := os.Stat(socket); err == nil {
+		conn, err := net.DialTimeout("unix", socket, time.Second)
+		if err == nil {
+			conn.Close()
+			return nil, fmt.Errorf("socket %s already has a live daemon (use agentring drain, or pick another -socket)", socket)
+		}
+		if err := os.Remove(socket); err != nil {
+			return nil, fmt.Errorf("removing stale socket: %w", err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	return net.Listen("unix", socket)
+}

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"agentring/internal/jobs"
+	"agentring/internal/rpc"
+)
+
+// daemon runs the daemon body in a goroutine against a fresh socket and
+// hands back the pieces a lifecycle test needs: the socket path, the
+// injectable signal channel, and a way to collect run's return value.
+type daemon struct {
+	socket string
+	sigs   chan os.Signal
+	log    *lockedBuffer
+	done   chan error
+}
+
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func startDaemon(t *testing.T, extra ...string) *daemon {
+	t.Helper()
+	dir, err := os.MkdirTemp("", "ard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	d := &daemon{
+		socket: filepath.Join(dir, "d.sock"),
+		sigs:   make(chan os.Signal, 1),
+		log:    &lockedBuffer{},
+		done:   make(chan error, 1),
+	}
+	args := append([]string{"-socket", d.socket, "-workers", "1", "-drain-timeout", "5s"}, extra...)
+	go func() { d.done <- run(args, d.log, d.sigs) }()
+	d.waitListening(t)
+	return d
+}
+
+func (d *daemon) waitListening(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		// Dial, don't stat: a stale file (TestStaleSocketRecovered seeds
+		// one) exists before anything is listening.
+		if conn, err := net.Dial("unix", d.socket); err == nil {
+			conn.Close()
+			return
+		}
+		select {
+		case err := <-d.done:
+			t.Fatalf("daemon exited before listening: %v\n%s", err, d.log.String())
+		default:
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("daemon never listened on %s\n%s", d.socket, d.log.String())
+}
+
+func (d *daemon) waitExit(t *testing.T) error {
+	t.Helper()
+	select {
+	case err := <-d.done:
+		return err
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not exit\n%s", d.log.String())
+		return nil
+	}
+}
+
+// TestSigtermDrainsAndExitsZero is the graceful-shutdown contract:
+// SIGTERM lets a running job finish, then run returns nil (exit 0).
+func TestSigtermDrainsAndExitsZero(t *testing.T) {
+	d := startDaemon(t)
+	cl, err := rpc.Dial(d.socket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	snap, err := cl.Submit(jobs.Spec{
+		Kind: jobs.KindSweep, Algorithm: "native",
+		Ns: []int{16, 24}, Ks: []int{2, 4}, Seed: 7, Scheduler: "synchronous",
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	d.sigs <- syscall.SIGTERM
+	if err := d.waitExit(t); err != nil {
+		t.Fatalf("SIGTERM shutdown must return nil, got %v", err)
+	}
+	if !strings.Contains(d.log.String(), "drained, exiting") {
+		t.Errorf("missing drain log:\n%s", d.log.String())
+	}
+	// The job either finished before the drain or was cancelled by it;
+	// it must not be lost in a non-final state.
+	if _, err := os.Stat(d.socket); err == nil {
+		t.Error("socket file survived shutdown")
+	}
+	_ = snap
+}
+
+// TestSecondDaemonFailsFast: a live daemon owns its socket; a second
+// one must refuse to start rather than steal or clobber it.
+func TestSecondDaemonFailsFast(t *testing.T) {
+	d := startDaemon(t)
+
+	err := run([]string{"-socket", d.socket}, &lockedBuffer{}, make(chan os.Signal))
+	if err == nil || !strings.Contains(err.Error(), "live daemon") {
+		t.Fatalf("second daemon on a live socket: want fail-fast error, got %v", err)
+	}
+
+	d.sigs <- syscall.SIGTERM
+	if err := d.waitExit(t); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStaleSocketRecovered: a leftover socket file that nothing answers
+// (crashed daemon) is removed and the path reclaimed.
+func TestStaleSocketRecovered(t *testing.T) {
+	dir, err := os.MkdirTemp("", "ard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	socket := filepath.Join(dir, "d.sock")
+	if err := os.WriteFile(socket, nil, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	d := &daemon{socket: socket, sigs: make(chan os.Signal, 1), log: &lockedBuffer{}, done: make(chan error, 1)}
+	go func() { d.done <- run([]string{"-socket", socket, "-drain-timeout", "1s"}, d.log, d.sigs) }()
+	d.waitListening(t)
+
+	cl, err := rpc.Dial(socket)
+	if err != nil {
+		t.Fatalf("dial after stale recovery: %v", err)
+	}
+	if _, err := cl.DaemonStatus(); err != nil {
+		t.Fatalf("daemon.status: %v", err)
+	}
+	cl.Close()
+
+	d.sigs <- syscall.SIGTERM
+	if err := d.waitExit(t); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDrainOverRPCExits: the daemon.drain method is the remote
+// equivalent of SIGTERM — ack the caller, drain, exit 0.
+func TestDrainOverRPCExits(t *testing.T) {
+	d := startDaemon(t)
+	cl, err := rpc.Dial(d.socket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Drain(); err != nil {
+		t.Fatalf("daemon.drain: %v", err)
+	}
+	if err := d.waitExit(t); err != nil {
+		t.Fatalf("drain shutdown must return nil, got %v", err)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}, &lockedBuffer{}, nil); err == nil {
+		t.Error("bad flag must error")
+	}
+}

@@ -12,7 +12,8 @@
 //	explore -n 6 -k 3                       # clustered homes, native algorithm
 //	explore -n 8 -homes 0,1,2,3,4 -alg naive # Theorem 5 counterexample
 //	explore -n 5 -all -alg logspace          # every placement of the 5-ring
-//	explore -n 6 -k 2 -json                  # machine-readable report
+//	explore -n 6 -k 2 -json                  # machine-readable report (one compact line)
+//	explore -n 5 -all -json -alg logspace    # NDJSON: one line per placement, streamed
 //	explore -n 4 -k 2 -faults 1:2:down,9:2:up # dynamic ring: link fails, recovers
 //	explore -n 4 -k 2 -faults permanent       # never repaired: finds the frozen-agent schedule
 //
@@ -59,7 +60,7 @@ func run(args []string, out io.Writer) error {
 		states   = fs.Int("states", 0, "distinct-state bound (0 = default)")
 		workers  = fs.Int("workers", 0, "parallel subtree workers (<=1 = sequential)")
 		moves    = fs.Int("moves", 0, "total-move bound; exceeding it is a counterexample (0 = off)")
-		jsonFlag = fs.Bool("json", false, "emit the report(s) as JSON")
+		jsonFlag = fs.Bool("json", false, "emit the report(s) as JSON (NDJSON stream with -all)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,14 +86,24 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *all {
-		rows, exploreErr := experiments.ExploreAllUnderFaults(alg, *topoSpec, *n, faults, opts)
 		if *jsonFlag {
-			if err := writeJSON(out, rows); err != nil {
-				return err
+			// Stream one NDJSON line per explored placement, so long
+			// enumerations report progress as they go instead of buffering
+			// everything into one array.
+			var encErr error
+			enc := json.NewEncoder(out)
+			_, exploreErr := experiments.ExploreAllStream(alg, *topoSpec, *n, faults, opts, func(r experiments.ExploreRow) {
+				if encErr == nil {
+					encErr = enc.Encode(exploreJSONRow(r))
+				}
+			})
+			if encErr != nil {
+				return encErr
 			}
-		} else {
-			fmt.Fprint(out, experiments.FormatExploreRows(rows))
+			return exploreErr
 		}
+		rows, exploreErr := experiments.ExploreAllUnderFaults(alg, *topoSpec, *n, faults, opts)
+		fmt.Fprint(out, experiments.FormatExploreRows(rows))
 		return exploreErr
 	}
 
@@ -105,9 +116,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if *jsonFlag {
-		enc := json.NewEncoder(out)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
+		// One compact line, the single-report degenerate case of the
+		// -all NDJSON stream.
+		if err := json.NewEncoder(out).Encode(rep); err != nil {
 			return err
 		}
 	} else {
@@ -187,19 +198,14 @@ func printReport(out io.Writer, homes []int, rep agentring.ExploreReport) {
 	}
 }
 
-// writeJSON renders exploration rows with stable field names.
-func writeJSON(out io.Writer, rows []experiments.ExploreRow) error {
-	type jsonRow struct {
-		Algorithm string                  `json:"algorithm"`
-		N         int                     `json:"n"`
-		Homes     []int                   `json:"homes"`
-		Report    agentring.ExploreReport `json:"report"`
-	}
-	payload := make([]jsonRow, len(rows))
-	for i, r := range rows {
-		payload[i] = jsonRow{Algorithm: r.Algorithm.String(), N: r.N, Homes: r.Homes, Report: r.Report}
-	}
-	enc := json.NewEncoder(out)
-	enc.SetIndent("", "  ")
-	return enc.Encode(payload)
+// exploreRowJSON is one -all NDJSON line, with stable field names.
+type exploreRowJSON struct {
+	Algorithm string                  `json:"algorithm"`
+	N         int                     `json:"n"`
+	Homes     []int                   `json:"homes"`
+	Report    agentring.ExploreReport `json:"report"`
+}
+
+func exploreJSONRow(r experiments.ExploreRow) exploreRowJSON {
+	return exploreRowJSON{Algorithm: r.Algorithm.String(), N: r.N, Homes: r.Homes, Report: r.Report}
 }

@@ -52,6 +52,31 @@ func TestExploreJSON(t *testing.T) {
 	}
 }
 
+func TestExploreAllJSONStreamsNDJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "4", "-all", "-json", "-alg", "logspace"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("want one NDJSON line per placement, got %d:\n%s", len(lines), out.String())
+	}
+	for i, line := range lines {
+		var row struct {
+			Algorithm string         `json:"algorithm"`
+			N         int            `json:"n"`
+			Homes     []int          `json:"homes"`
+			Report    map[string]any `json:"report"`
+		}
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("line %d is not a JSON object: %v\n%s", i, err, line)
+		}
+		if row.Algorithm != "logspace" || row.N != 4 || len(row.Homes) == 0 {
+			t.Errorf("line %d: %+v", i, row)
+		}
+	}
+}
+
 func TestExploreAllPlacements(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-n", "4", "-all", "-alg", "logspace"}, &out); err != nil {

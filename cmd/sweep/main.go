@@ -17,7 +17,7 @@
 //	sweep                 # all algorithms, default grid
 //	sweep -alg relaxed    # only the relaxed-algorithm degree sweep
 //	sweep -big -workers 4 # larger grid on a 4-worker pool
-//	sweep -json           # machine-readable rows for trend tracking
+//	sweep -json           # NDJSON: one row per completed cell, streamed
 //	sweep -topology biring -alg binative   # bidirectional shortcut grid
 //	sweep -topology torus=8x8              # all algorithms on one torus
 //	sweep -faults transient                # DynRing: links fail and recover
@@ -59,7 +59,7 @@ func run(args []string, out io.Writer) error {
 		big      = fs.Bool("big", false, "use the larger grid (slower)")
 		chart    = fs.Bool("chart", false, "append ASCII bar charts of total moves (table output only)")
 		workers  = fs.Int("workers", 0, "worker pool size (0 = all cores)")
-		jsonFlag = fs.Bool("json", false, "emit rows as JSON instead of tables")
+		jsonFlag = fs.Bool("json", false, "stream rows as NDJSON, one line per completed cell, instead of tables")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile (taken after the sweep) to this file")
 	)
@@ -130,13 +130,26 @@ func run(args []string, out io.Writer) error {
 		return specs
 	}
 
-	var jsonRows []experiments.Row
+	// In JSON mode each completed cell streams out immediately as one
+	// NDJSON line (in grid order), so long sweeps can be watched and
+	// piped instead of buffering the whole run into one array.
+	var jsonErr error
+	runSpecs := func(specs []experiments.Spec) ([]experiments.Row, error) {
+		if !*jsonFlag {
+			return experiments.RunAll(specs, *workers)
+		}
+		return experiments.RunAllStream(specs, *workers, func(r experiments.Row) {
+			if jsonErr == nil {
+				jsonErr = experiments.WriteJSONRow(out, r)
+			}
+		})
+	}
+
 	var failed []string
 	emit := func(header string, rows []experiments.Row, chartTitle string) {
 		failed = append(failed, nonUniform(rows)...)
 		if *jsonFlag {
-			jsonRows = append(jsonRows, rows...)
-			return
+			return // rows already streamed by runSpecs
 		}
 		fmt.Fprintln(out, header)
 		fmt.Fprint(out, experiments.FormatRows(rows))
@@ -147,21 +160,21 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *algName == "native" || *algName == "all" {
-		rows, err := experiments.RunAll(withTopology(experiments.Table1Specs(agentring.Native, ns, ks, *seed)), *workers)
+		rows, err := runSpecs(withTopology(experiments.Table1Specs(agentring.Native, ns, ks, *seed)))
 		if err != nil {
 			return err
 		}
 		emit("== Table 1, column 1: Algorithm 1 (knows k) — O(k log n) memory, O(n) time, O(kn) moves ==", rows, "")
 	}
 	if *algName == "logspace" || *algName == "all" {
-		rows, err := experiments.RunAll(withTopology(experiments.Table1Specs(agentring.LogSpace, ns, ks, *seed)), *workers)
+		rows, err := runSpecs(withTopology(experiments.Table1Specs(agentring.LogSpace, ns, ks, *seed)))
 		if err != nil {
 			return err
 		}
 		emit("== Table 1, column 2: Algorithms 2+3 (knows k) — O(log n) memory, O(n log k) time, O(kn) moves ==", rows, "")
 	}
 	if *topoSpec == "biring" && (*algName == "binative" || *algName == "all") {
-		rows, err := experiments.RunAll(withTopology(experiments.Table1Specs(agentring.BiNative, ns, ks, *seed)), *workers)
+		rows, err := runSpecs(withTopology(experiments.Table1Specs(agentring.BiNative, ns, ks, *seed)))
 		if err != nil {
 			return err
 		}
@@ -190,17 +203,15 @@ func run(args []string, out io.Writer) error {
 			specs = kept
 		}
 		specs = withTopology(specs)
-		rows, err := experiments.RunAll(specs, *workers)
+		rows, err := runSpecs(specs)
 		if err != nil {
 			return err
 		}
 		emit("== Table 1, column 4: relaxed algorithm (no knowledge) — everything scales with 1/l ==", rows,
 			"total moves vs symmetry degree (the 1/l adaptivity):")
 	}
-	if *jsonFlag {
-		if err := experiments.WriteJSON(out, jsonRows); err != nil {
-			return err
-		}
+	if jsonErr != nil {
+		return jsonErr
 	}
 	// A non-uniform row means a configuration failed deployment: exit
 	// non-zero (after emitting every row) so CI scripting can gate on

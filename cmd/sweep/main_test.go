@@ -53,15 +53,26 @@ func TestSweepJSON(t *testing.T) {
 	if err := run([]string{"-alg", "relaxed", "-json", "-workers", "2"}, &out); err != nil {
 		t.Fatal(err)
 	}
-	var rows []map[string]any
-	if err := json.Unmarshal(out.Bytes(), &rows); err != nil {
-		t.Fatalf("output is not a JSON array: %v\n%s", err, out.String())
+	// -json streams NDJSON: one self-contained object per line, not one
+	// buffered array.
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("no NDJSON rows")
 	}
-	if len(rows) == 0 {
-		t.Fatal("no JSON rows")
+	var rows []map[string]any
+	for i, line := range lines {
+		var row map[string]any
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("line %d is not a JSON object: %v\n%s", i, err, line)
+		}
+		rows = append(rows, row)
 	}
 	if alg, ok := rows[0]["algorithm"].(string); !ok || alg != "relaxed" {
 		t.Errorf("first row algorithm = %v", rows[0]["algorithm"])
+	}
+	// The degree sweep runs at fixed n=256, k=16: one row per divisor.
+	if len(rows) != len(divisorsUpTo(16)) {
+		t.Errorf("want %d rows, got %d", len(divisorsUpTo(16)), len(rows))
 	}
 }
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"agentring"
 )
@@ -133,6 +134,16 @@ func Run(spec Spec) (Row, error) {
 // batch default (GOMAXPROCS). The first failed spec is reported as the
 // error, after every spec has run.
 func RunAll(specs []Spec, workers int) ([]Row, error) {
+	return RunAllStream(specs, workers, nil)
+}
+
+// RunAllStream is RunAll with ordered streaming: every successful row
+// is additionally handed to emit as soon as it and all earlier rows
+// have completed, so a consumer (the sweep CLI's NDJSON mode) sees
+// rows trickle out in grid order while the batch is still running,
+// instead of waiting for the whole sweep. emit is called from a worker
+// goroutine but never concurrently; nil emit degrades to RunAll.
+func RunAllStream(specs []Spec, workers int, emit func(Row)) ([]Row, error) {
 	jobs := make([]agentring.Job, len(specs))
 	for i, spec := range specs {
 		cfg, err := spec.Config()
@@ -141,7 +152,34 @@ func RunAll(specs []Spec, workers int) ([]Row, error) {
 		}
 		jobs[i] = agentring.Job{Algorithm: spec.Algorithm, Config: cfg}
 	}
-	results := agentring.RunBatch(jobs, agentring.BatchOptions{Workers: workers})
+	opts := agentring.BatchOptions{Workers: workers}
+	if emit != nil {
+		var (
+			mu      sync.Mutex
+			pending = make([]Row, len(specs))
+			done    = make([]bool, len(specs))
+			ok      = make([]bool, len(specs))
+			next    int
+		)
+		opts.OnResult = func(i int, res agentring.JobResult) {
+			mu.Lock()
+			defer mu.Unlock()
+			if res.Err == nil {
+				pending[i] = rowFrom(specs[i], res.Report)
+				ok[i] = true
+			}
+			done[i] = true
+			// Flush the completed prefix: rows stream strictly in input
+			// order, failed specs yield no row (the error surfaces below).
+			for next < len(specs) && done[next] {
+				if ok[next] {
+					emit(pending[next])
+				}
+				next++
+			}
+		}
+	}
+	results := agentring.RunBatch(jobs, opts)
 	rows := make([]Row, len(specs))
 	var firstErr error
 	for i, res := range results {

@@ -170,3 +170,42 @@ func TestMovesScaleLinearlyInKN(t *testing.T) {
 		t.Errorf("moves vs kn correlation = %v, want > 0.95", corr)
 	}
 }
+
+func TestRunAllStreamOrderedEmission(t *testing.T) {
+	specs := Table1Specs(agentring.Native, []int{16, 24, 32}, []int{2, 4}, 7)
+	var streamed []Row
+	rows, err := RunAllStream(specs, 4, func(r Row) {
+		streamed = append(streamed, r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(rows) {
+		t.Fatalf("streamed %d rows, returned %d", len(streamed), len(rows))
+	}
+	// Emission is strictly in input order, whatever order the worker
+	// pool finished in, and carries the same measurements.
+	for i := range rows {
+		if streamed[i] != rows[i] {
+			t.Errorf("row %d: streamed %+v != returned %+v", i, streamed[i], rows[i])
+		}
+	}
+}
+
+func TestWriteJSONRowIsOneCompactLine(t *testing.T) {
+	rows, err := RunAll(Table1Specs(agentring.Native, []int{16}, []int{2}, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteJSONRow(&buf, rows[0]); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if strings.Count(s, "\n") != 1 || !strings.HasSuffix(s, "\n") {
+		t.Fatalf("not a single NDJSON line: %q", s)
+	}
+	if strings.Contains(s, "  ") {
+		t.Errorf("row is indented, want compact: %q", s)
+	}
+}

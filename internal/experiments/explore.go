@@ -71,6 +71,15 @@ func ExploreAllOn(alg agentring.Algorithm, topology string, n int, opts agentrin
 // relies on (the failed edge names a concrete node), so placements are
 // then enumerated exhaustively on every substrate.
 func ExploreAllUnderFaults(alg agentring.Algorithm, topology string, n int, faults []agentring.FaultEvent, opts agentring.ExploreOptions) ([]ExploreRow, error) {
+	return ExploreAllStream(alg, topology, n, faults, opts, nil)
+}
+
+// ExploreAllStream is ExploreAllUnderFaults with per-placement
+// streaming: each finished row is also handed to emit before the next
+// placement's exploration starts, so a consumer (the explore CLI's
+// NDJSON mode) reports progress on searches that take minutes instead
+// of going silent until the end. nil emit just collects.
+func ExploreAllStream(alg agentring.Algorithm, topology string, n int, faults []agentring.FaultEvent, opts agentring.ExploreOptions, emit func(ExploreRow)) ([]ExploreRow, error) {
 	topo, err := agentring.ParseTopology(topology, n)
 	if err != nil {
 		return nil, err
@@ -103,7 +112,11 @@ func ExploreAllUnderFaults(alg agentring.Algorithm, topology string, n int, faul
 		if err != nil {
 			return rows, fmt.Errorf("explore %s on %s homes=%v: %w", alg, topo, homes, err)
 		}
-		rows = append(rows, ExploreRow{Algorithm: alg, N: n, Homes: homes, Report: rep})
+		row := ExploreRow{Algorithm: alg, N: n, Homes: homes, Report: rep}
+		rows = append(rows, row)
+		if emit != nil {
+			emit(row)
+		}
 		if rep.Counterexample != nil {
 			return rows, fmt.Errorf("explore %s on %s homes=%v: counterexample: %s",
 				alg, topo, homes, rep.Counterexample.Reason)

@@ -26,30 +26,41 @@ type jsonRow struct {
 	Messages       int    `json:"messages"`
 }
 
+func toJSONRow(r Row) jsonRow {
+	return jsonRow{
+		Algorithm:      r.Algorithm.String(),
+		N:              r.N,
+		K:              r.K,
+		Workload:       string(r.Workload),
+		Degree:         r.Degree,
+		Faults:         r.Faults,
+		Seed:           r.Seed,
+		SymmetryDegree: r.SymmetryDegree,
+		Uniform:        r.Uniform,
+		TotalMoves:     r.TotalMoves,
+		MaxMoves:       r.MaxMoves,
+		Rounds:         r.Rounds,
+		PeakWords:      r.PeakWords,
+		PeakBits:       r.PeakBits,
+		Messages:       r.Messages,
+	}
+}
+
 // WriteJSON renders rows as an indented JSON array, the machine-readable
 // counterpart of FormatRows for benchmark trend tracking.
 func WriteJSON(w io.Writer, rows []Row) error {
 	out := make([]jsonRow, len(rows))
 	for i, r := range rows {
-		out[i] = jsonRow{
-			Algorithm:      r.Algorithm.String(),
-			N:              r.N,
-			K:              r.K,
-			Workload:       string(r.Workload),
-			Degree:         r.Degree,
-			Faults:         r.Faults,
-			Seed:           r.Seed,
-			SymmetryDegree: r.SymmetryDegree,
-			Uniform:        r.Uniform,
-			TotalMoves:     r.TotalMoves,
-			MaxMoves:       r.MaxMoves,
-			Rounds:         r.Rounds,
-			PeakWords:      r.PeakWords,
-			PeakBits:       r.PeakBits,
-			Messages:       r.Messages,
-		}
+		out[i] = toJSONRow(r)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// WriteJSONRow renders one row as a single compact line, the NDJSON
+// unit the sweep CLI streams per completed cell (RunAllStream feeds it
+// in grid order while the batch is still running).
+func WriteJSONRow(w io.Writer, r Row) error {
+	return json.NewEncoder(w).Encode(toJSONRow(r))
 }

@@ -1,0 +1,14 @@
+// Package jobs is the resident job engine behind the agentringd
+// daemon: typed, JSON-serializable job specs (single runs, sweep
+// grids, schedule-space explorations) executed over agentring.RunBatch's
+// bounded worker pool, with a priority FIFO queue, per-job cancellation,
+// progress counters, per-client quotas, max-queue-depth admission
+// control, an event bus for live progress and trace streaming, and
+// graceful drain.
+//
+// The package is deliberately transport-free: internal/rpc exposes it
+// over JSON-RPC 2.0, and the same Execute path serves in-process
+// clients (the `agentring submit -local` escape hatch and the
+// daemon-vs-direct equivalence tests), which is what makes a daemon
+// job's result byte-identical to running the spec directly.
+package jobs

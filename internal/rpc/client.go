@@ -1,0 +1,247 @@
+package rpc
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"agentring/internal/jobs"
+)
+
+// DefaultSocket is where agentringd listens and the agentring client
+// dials when no -socket flag is given.
+func DefaultSocket() string {
+	return filepath.Join(os.TempDir(), "agentringd.sock")
+}
+
+// Client is a JSON-RPC connection to agentringd. One goroutine reads
+// the socket and demultiplexes: responses resolve their pending Call by
+// id, notifications fan into the Events channel. Safe for concurrent
+// Calls.
+type Client struct {
+	nc     net.Conn
+	events chan Notification
+
+	wmu sync.Mutex // serializes request lines
+
+	mu      sync.Mutex
+	seq     int
+	pending map[int]chan Response
+	err     error // terminal read-loop error
+	done    chan struct{}
+}
+
+// Dial connects to the daemon's Unix socket.
+func Dial(socket string) (*Client, error) {
+	nc, err := net.Dial("unix", socket)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		nc:      nc,
+		events:  make(chan Notification, 256),
+		pending: make(map[int]chan Response),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Events delivers daemon notifications (event.job, event.trace) after
+// an events.subscribe call. The channel is closed when the connection
+// ends; a full buffer drops the oldest pending notification first.
+func (c *Client) Events() <-chan Notification { return c.events }
+
+// Close severs the connection; in-flight Calls fail.
+func (c *Client) Close() error { return c.nc.Close() }
+
+func (c *Client) readLoop() {
+	sc := bufio.NewScanner(c.nc)
+	sc.Buffer(make([]byte, 64<<10), maxLine)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		// Distinguish response from notification by the presence of an id.
+		var probe struct {
+			ID     *json.RawMessage `json:"id"`
+			Method string           `json:"method"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			continue // not ours to crash on; skip the malformed line
+		}
+		if probe.ID == nil && probe.Method != "" {
+			var n Notification
+			if json.Unmarshal(line, &n) == nil {
+				select {
+				case c.events <- n:
+				default:
+					// Slow consumer: shed the oldest to keep the loop live.
+					select {
+					case <-c.events:
+					default:
+					}
+					select {
+					case c.events <- n:
+					default:
+					}
+				}
+			}
+			continue
+		}
+		var resp Response
+		if err := json.Unmarshal(line, &resp); err != nil || resp.ID == nil {
+			continue
+		}
+		var id int
+		if err := json.Unmarshal(*resp.ID, &id); err != nil {
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+	err := sc.Err()
+	if err == nil {
+		err = fmt.Errorf("rpc: connection closed")
+	}
+	c.mu.Lock()
+	c.err = err
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+	c.mu.Unlock()
+	close(c.events)
+	close(c.done)
+}
+
+// Call performs one request/response round trip. A non-nil result is
+// filled from the response payload; protocol-level failures come back
+// as *Error (switch on Code).
+func (c *Client) Call(method string, params, result any) error {
+	var rawParams json.RawMessage
+	if params != nil {
+		b, err := json.Marshal(params)
+		if err != nil {
+			return err
+		}
+		rawParams = b
+	}
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	c.seq++
+	id := c.seq
+	ch := make(chan Response, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	rawID := json.RawMessage(fmt.Sprintf("%d", id))
+	line, err := json.Marshal(Request{JSONRPC: "2.0", ID: &rawID, Method: method, Params: rawParams})
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	c.wmu.Lock()
+	_, err = c.nc.Write(line)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return err
+	}
+
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	if resp.Error != nil {
+		return resp.Error
+	}
+	if result != nil && len(resp.Result) > 0 {
+		return json.Unmarshal(resp.Result, result)
+	}
+	return nil
+}
+
+// Convenience wrappers for the method families the CLI uses.
+
+// Submit submits a job spec and returns its initial snapshot.
+func (c *Client) Submit(spec jobs.Spec) (jobs.Snapshot, error) {
+	var snap jobs.Snapshot
+	err := c.Call("job.submit", spec, &snap)
+	return snap, err
+}
+
+// Status fetches one job's snapshot.
+func (c *Client) Status(id string) (jobs.Snapshot, error) {
+	var snap jobs.Snapshot
+	err := c.Call("job.status", idParams{ID: id}, &snap)
+	return snap, err
+}
+
+// List fetches every job's snapshot in submission order.
+func (c *Client) List() ([]jobs.Snapshot, error) {
+	var out []jobs.Snapshot
+	err := c.Call("job.list", nil, &out)
+	return out, err
+}
+
+// Result fetches a done job's payload.
+func (c *Client) Result(id string) (jobs.Result, error) {
+	var res jobs.Result
+	err := c.Call("job.result", idParams{ID: id}, &res)
+	return res, err
+}
+
+// RawResult fetches a done job's payload as the daemon's exact bytes,
+// for byte-for-byte comparison against a direct jobs.Execute run.
+func (c *Client) RawResult(id string) (json.RawMessage, error) {
+	var raw json.RawMessage
+	err := c.Call("job.result", idParams{ID: id}, &raw)
+	return raw, err
+}
+
+// Cancel cancels a job and returns its snapshot as of the call.
+func (c *Client) Cancel(id string) (jobs.Snapshot, error) {
+	var snap jobs.Snapshot
+	err := c.Call("job.cancel", idParams{ID: id}, &snap)
+	return snap, err
+}
+
+// Subscribe opens an event stream (job == "" for all jobs); consume it
+// from Events.
+func (c *Client) Subscribe(job string) (int, error) {
+	var res subscribeResult
+	err := c.Call("events.subscribe", subscribeParams{Job: job}, &res)
+	return res.Subscription, err
+}
+
+// DaemonStatus fetches the daemon's identity and engine census.
+func (c *Client) DaemonStatus() (DaemonStatus, error) {
+	var st DaemonStatus
+	err := c.Call("daemon.status", nil, &st)
+	return st, err
+}
+
+// Drain asks the daemon to drain and exit.
+func (c *Client) Drain() error {
+	return c.Call("daemon.drain", nil, nil)
+}

@@ -1,0 +1,20 @@
+// Package rpc is the agentringd wire layer: JSON-RPC 2.0 over a Unix
+// domain socket, one message per line (NDJSON framing, UTF-8), in the
+// MolePort IPC style. It exposes the internal/jobs engine as the
+// job.* / daemon.* / events.* method families and pushes job progress
+// and live trace events to subscribers as id-less notifications.
+//
+// Two communication patterns share one connection:
+//
+//	client → daemon: {"jsonrpc":"2.0","id":1,"method":"job.submit","params":{...}}
+//	daemon → client: {"jsonrpc":"2.0","id":1,"result":{...}}
+//
+// and, after events.subscribe:
+//
+//	daemon → client: {"jsonrpc":"2.0","method":"event.job","params":{...}}   (no id)
+//	daemon → client: {"jsonrpc":"2.0","method":"event.trace","params":{...}} (no id)
+//
+// The full method list, parameter shapes and error-code table live in
+// docs/PROTOCOL.md; ProtocolVersion is surfaced by daemon.status so
+// clients can negotiate compatibility.
+package rpc

@@ -1,0 +1,383 @@
+package rpc
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+
+	"agentring/internal/jobs"
+)
+
+// maxLine bounds one NDJSON request line (a submitted spec with
+// explicit homes for a large ring still fits comfortably).
+const maxLine = 4 << 20
+
+// Server serves the JSON-RPC protocol over a net.Listener, dispatching
+// onto a jobs.Engine. Each connection gets a stable client identity
+// ("conn-1", "conn-2", ...) used for the engine's per-client quotas.
+type Server struct {
+	Engine *jobs.Engine
+	// Socket is the listen path, echoed by daemon.status.
+	Socket string
+
+	mu      sync.Mutex
+	connSeq int
+	conns   map[*serverConn]struct{}
+	closed  bool
+	drainCh chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewServer wraps an engine. The server owns no listener; pass one to
+// Serve (cmd/agentringd binds the Unix socket so it can also handle
+// stale-socket recovery).
+func NewServer(engine *jobs.Engine, socket string) *Server {
+	return &Server{
+		Engine:  engine,
+		Socket:  socket,
+		conns:   make(map[*serverConn]struct{}),
+		drainCh: make(chan struct{}),
+	}
+}
+
+// DrainRequested is signalled (closed) the first time a client calls
+// daemon.drain; the daemon main loop treats it like SIGTERM.
+func (s *Server) DrainRequested() <-chan struct{} { return s.drainCh }
+
+// Serve accepts connections until the listener is closed. It returns
+// nil on a clean shutdown (Close), the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		s.connSeq++
+		c := &serverConn{
+			srv:    s,
+			nc:     nc,
+			client: fmt.Sprintf("conn-%d", s.connSeq),
+			subs:   make(map[int]func()),
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go c.serve()
+	}
+}
+
+// Close stops accepting state, severs every live connection and waits
+// for their handlers to exit. The caller closes the listener.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.nc.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) dropConn(c *serverConn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+func (s *Server) signalDrain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.drainCh:
+	default:
+		close(s.drainCh)
+	}
+}
+
+// serverConn is one client connection: a serial request loop plus any
+// number of subscription pump goroutines sharing the write lock.
+type serverConn struct {
+	srv    *Server
+	nc     net.Conn
+	client string
+
+	wmu sync.Mutex // serializes whole NDJSON lines onto nc
+
+	smu    sync.Mutex // guards subs
+	subSeq int
+	subs   map[int]func() // subscription id -> engine unsubscribe
+}
+
+func (c *serverConn) serve() {
+	defer c.srv.wg.Done()
+	defer c.srv.dropConn(c)
+	defer c.nc.Close()
+	defer c.cancelSubs()
+
+	sc := bufio.NewScanner(c.nc)
+	sc.Buffer(make([]byte, 64<<10), maxLine)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			c.writeError(nil, &Error{Code: CodeParseError, Message: "parse error: " + err.Error()})
+			continue
+		}
+		if req.JSONRPC != "2.0" || req.Method == "" {
+			c.writeError(req.ID, &Error{Code: CodeInvalidRequest, Message: `invalid request: need "jsonrpc":"2.0" and a method`})
+			continue
+		}
+		result, rpcErr := c.dispatch(req)
+		if req.ID == nil {
+			// Client-side notifications get no response by JSON-RPC rules.
+			continue
+		}
+		if rpcErr != nil {
+			c.writeError(req.ID, rpcErr)
+			continue
+		}
+		c.writeResult(req.ID, result)
+		if req.Method == "daemon.drain" {
+			// Signal only after the response is on the wire, so the
+			// requesting client sees its ack before shutdown can close the
+			// connection out from under it.
+			c.srv.signalDrain()
+		}
+	}
+	// Scanner errors (including client disconnect) just end the
+	// connection; cancelSubs above unwedges any pump goroutines.
+}
+
+func (c *serverConn) cancelSubs() {
+	c.smu.Lock()
+	defer c.smu.Unlock()
+	for id, cancel := range c.subs {
+		delete(c.subs, id)
+		cancel()
+	}
+}
+
+// idParams is the shared parameter shape of the job.status /
+// job.result / job.cancel methods.
+type idParams struct {
+	ID string `json:"id"`
+}
+
+type subscribeParams struct {
+	// Buffer sizes the subscriber channel (<=0 selects the engine
+	// default). Events beyond a full buffer are dropped, not queued.
+	Buffer int `json:"buffer,omitempty"`
+	// Job filters the stream to one job id ("" = everything).
+	Job string `json:"job,omitempty"`
+}
+
+type subscribeResult struct {
+	Subscription int `json:"subscription"`
+}
+
+func (c *serverConn) dispatch(req Request) (any, *Error) {
+	eng := c.srv.Engine
+	switch req.Method {
+	case "job.submit":
+		var spec jobs.Spec
+		if err := unmarshalParams(req.Params, &spec); err != nil {
+			return nil, err
+		}
+		snap, err := eng.Submit(c.client, spec)
+		if err != nil {
+			return nil, engineError(err)
+		}
+		return snap, nil
+	case "job.status":
+		var p idParams
+		if err := unmarshalParams(req.Params, &p); err != nil {
+			return nil, err
+		}
+		snap, err := eng.Status(p.ID)
+		if err != nil {
+			return nil, engineError(err)
+		}
+		return snap, nil
+	case "job.list":
+		return eng.List(), nil
+	case "job.result":
+		var p idParams
+		if err := unmarshalParams(req.Params, &p); err != nil {
+			return nil, err
+		}
+		res, err := eng.Result(p.ID)
+		if err != nil {
+			return nil, engineError(err)
+		}
+		return res, nil
+	case "job.cancel":
+		var p idParams
+		if err := unmarshalParams(req.Params, &p); err != nil {
+			return nil, err
+		}
+		snap, err := eng.Cancel(p.ID)
+		if err != nil {
+			return nil, engineError(err)
+		}
+		return snap, nil
+	case "events.subscribe":
+		var p subscribeParams
+		if err := unmarshalParams(req.Params, &p); err != nil {
+			return nil, err
+		}
+		return c.subscribe(p), nil
+	case "events.unsubscribe":
+		var p subscribeResult
+		if err := unmarshalParams(req.Params, &p); err != nil {
+			return nil, err
+		}
+		c.smu.Lock()
+		cancel, ok := c.subs[p.Subscription]
+		delete(c.subs, p.Subscription)
+		c.smu.Unlock()
+		if !ok {
+			return nil, &Error{Code: CodeNoSubscription, Message: fmt.Sprintf("no subscription %d", p.Subscription)}
+		}
+		cancel()
+		return map[string]bool{"ok": true}, nil
+	case "daemon.status":
+		stats, err := json.Marshal(eng.Stats())
+		if err != nil {
+			return nil, &Error{Code: CodeInternal, Message: err.Error()}
+		}
+		return DaemonStatus{
+			Protocol: ProtocolVersion,
+			Version:  Version,
+			PID:      os.Getpid(),
+			Socket:   c.srv.Socket,
+			Stats:    stats,
+		}, nil
+	case "daemon.drain":
+		// The drain signal itself fires in serve(), after this method's
+		// response has been written.
+		return map[string]bool{"draining": true}, nil
+	default:
+		return nil, &Error{Code: CodeMethodNotFound, Message: fmt.Sprintf("unknown method %q", req.Method)}
+	}
+}
+
+// subscribe registers an engine listener and starts the pump goroutine
+// that forwards its events as event.job / event.trace notifications.
+func (c *serverConn) subscribe(p subscribeParams) subscribeResult {
+	ch, cancel := c.srv.Engine.Subscribe(p.Buffer)
+	c.smu.Lock()
+	c.subSeq++
+	id := c.subSeq
+	c.subs[id] = cancel
+	c.smu.Unlock()
+
+	go func() {
+		for ev := range ch {
+			if p.Job != "" && ev.JobID != p.Job {
+				continue
+			}
+			method := "event.job"
+			if ev.Type == "trace" {
+				method = "event.trace"
+			}
+			if err := c.writeNotification(method, ev); err != nil {
+				// Dead connection: unsubscribe so the engine stops feeding
+				// this channel, then drain it until cancel closes it.
+				cancel()
+				for range ch {
+				}
+				return
+			}
+		}
+	}()
+	return subscribeResult{Subscription: id}
+}
+
+func unmarshalParams(raw json.RawMessage, into any) *Error {
+	if len(raw) == 0 {
+		return nil
+	}
+	if err := json.Unmarshal(raw, into); err != nil {
+		return &Error{Code: CodeInvalidParams, Message: "invalid params: " + err.Error()}
+	}
+	return nil
+}
+
+// engineError maps jobs engine errors onto the protocol's application
+// error codes.
+func engineError(err error) *Error {
+	code := CodeInternal
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		code = CodeJobNotFound
+	case errors.Is(err, jobs.ErrQueueFull):
+		code = CodeQueueFull
+	case errors.Is(err, jobs.ErrQuota):
+		code = CodeQuotaExceeded
+	case errors.Is(err, jobs.ErrDraining):
+		code = CodeDraining
+	case errors.Is(err, jobs.ErrNotFinished):
+		code = CodeNotFinished
+	case errors.Is(err, jobs.ErrSpec):
+		code = CodeInvalidSpec
+	}
+	return &Error{Code: code, Message: err.Error()}
+}
+
+func (c *serverConn) writeResult(id *json.RawMessage, result any) {
+	raw, err := json.Marshal(result)
+	if err != nil {
+		c.writeError(id, &Error{Code: CodeInternal, Message: err.Error()})
+		return
+	}
+	c.writeLine(Response{JSONRPC: "2.0", ID: id, Result: raw})
+}
+
+func (c *serverConn) writeError(id *json.RawMessage, rpcErr *Error) {
+	c.writeLine(Response{JSONRPC: "2.0", ID: id, Error: rpcErr})
+}
+
+func (c *serverConn) writeNotification(method string, params any) error {
+	raw, err := json.Marshal(params)
+	if err != nil {
+		return err
+	}
+	return c.writeLine(Notification{JSONRPC: "2.0", Method: method, Params: raw})
+}
+
+// writeLine emits one NDJSON line under the connection write lock, so
+// responses and notifications from pump goroutines never interleave.
+func (c *serverConn) writeLine(msg any) error {
+	line, err := json.Marshal(msg)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	_, err = c.nc.Write(line)
+	return err
+}

@@ -31,8 +31,16 @@ type Options struct {
 	// MaxSteps bounds the number of atomic actions. Zero selects a
 	// generous default proportional to n*k.
 	MaxSteps int
-	// Trace, if non-nil, records execution events.
+	// Trace, if non-nil, records execution events into its bounded
+	// in-memory buffer (one TraceSink implementation kept as a named
+	// field for convenience and compatibility).
 	Trace *Trace
+	// Sink, if non-nil, receives every execution event as it happens —
+	// the streaming counterpart of Trace, for live subscribers that must
+	// not buffer a whole run. When both Trace and Sink are set the
+	// engine tees events to both, Trace first, so Trace's contents are
+	// unchanged by the presence of a streaming sink.
+	Sink TraceSink
 	// Observer, if non-nil, receives a full configuration snapshot
 	// before the first atomic action and after every one. Snapshots are
 	// O(n + k) to build, so observers are meant for tests and tools, not
@@ -114,7 +122,7 @@ type Engine struct {
 	tokens   []int // per-node indelible token counts (the T component)
 	sched    Scheduler
 	maxStep  int
-	trace    *Trace
+	sink     TraceSink
 	observer Observer
 
 	// Agent tables: parallel arrays indexed by agent id. The hot loop
@@ -252,7 +260,7 @@ func NewEngine(t Topology, homes []ring.NodeID, programs []Program, opts Options
 		tokens:   make([]int, n),
 		sched:    sched,
 		maxStep:  maxStep,
-		trace:    opts.Trace,
+		sink:     buildSink(opts),
 		observer: opts.Observer,
 		track:    opts.TrackState,
 
@@ -657,7 +665,7 @@ func (e *Engine) finishAction(id int, wasStaying bool) error {
 			e.removeStaying(id)
 		}
 		e.enqueue(r, id)
-		if e.trace != nil {
+		if e.sink != nil {
 			detail := ""
 			if ev.port != 0 {
 				detail = fmt.Sprintf("via port %d", ev.port)
@@ -767,9 +775,25 @@ func (e *Engine) shutdown() {
 	}
 }
 
+// buildSink resolves Options' trace destinations into the engine's
+// single sink: nil when tracing is off, the buffer or stream alone when
+// only one is set, a tee (buffer first) when both are.
+func buildSink(opts Options) TraceSink {
+	switch {
+	case opts.Trace != nil && opts.Sink != nil:
+		return TeeSink{opts.Trace, opts.Sink}
+	case opts.Trace != nil:
+		return opts.Trace
+	case opts.Sink != nil:
+		return opts.Sink
+	default:
+		return nil
+	}
+}
+
 func (e *Engine) traceEvent(id int, kind, detail string) {
-	if e.trace != nil {
-		e.trace.add(Event{Step: e.steps, Agent: id, Node: e.node[id], Kind: kind, Detail: detail})
+	if e.sink != nil {
+		e.sink.Record(Event{Step: e.steps, Agent: id, Node: e.node[id], Kind: kind, Detail: detail})
 	}
 }
 

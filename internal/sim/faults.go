@@ -125,12 +125,12 @@ func (e *Engine) SetEdgeState(from ring.NodeID, port int, up bool) error {
 		}
 	}
 	e.epoch++
-	if e.trace != nil {
+	if e.sink != nil {
 		kind := "link-down"
 		if up {
 			kind = "link-up"
 		}
-		e.trace.add(Event{Step: e.steps, Agent: -1, Node: from, Kind: kind, Detail: fmt.Sprintf("port %d", port)})
+		e.sink.Record(Event{Step: e.steps, Agent: -1, Node: from, Kind: kind, Detail: fmt.Sprintf("port %d", port)})
 	}
 	return nil
 }

@@ -28,13 +28,42 @@ func (ev Event) String() string {
 	return s
 }
 
-// Trace records execution events up to a capacity; once full, the oldest
-// events are dropped (and counted) so long runs stay bounded.
+// TraceSink receives execution events as the engine performs them. The
+// engine calls Record synchronously from its stepping loop, once per
+// traced occurrence and in execution order, so implementations must be
+// fast and must not call back into the engine. A *Trace is the
+// buffering implementation; FuncSink adapts a closure (e.g. a streaming
+// fan-out to live subscribers); TeeSink feeds several sinks at once.
+type TraceSink interface {
+	Record(Event)
+}
+
+// FuncSink adapts a function to the TraceSink interface.
+type FuncSink func(Event)
+
+// Record implements TraceSink.
+func (f FuncSink) Record(ev Event) { f(ev) }
+
+// TeeSink fans each event out to every member sink in order.
+type TeeSink []TraceSink
+
+// Record implements TraceSink.
+func (t TeeSink) Record(ev Event) {
+	for _, s := range t {
+		s.Record(ev)
+	}
+}
+
+// Trace is the buffering TraceSink: it records execution events up to a
+// capacity; once full, the oldest events are dropped (and counted) so
+// long runs stay bounded.
 type Trace struct {
 	cap     int
 	events  []Event
 	dropped int
 }
+
+var _ TraceSink = (*Trace)(nil)
 
 // NewTrace returns a trace keeping at most capacity events. A
 // non-positive capacity selects a default of 4096.
@@ -45,7 +74,8 @@ func NewTrace(capacity int) *Trace {
 	return &Trace{cap: capacity}
 }
 
-func (t *Trace) add(ev Event) {
+// Record implements TraceSink, appending the event to the ring buffer.
+func (t *Trace) Record(ev Event) {
 	if len(t.events) == t.cap {
 		copy(t.events, t.events[1:])
 		t.events = t.events[:t.cap-1]
