@@ -16,7 +16,7 @@ type Job struct {
 // JobResult is the outcome of one batch job. Exactly one of Report or
 // Err is meaningful: Err mirrors what Run would have returned for the
 // same job, and a failed job never aborts the rest of the batch. A job
-// skipped because BatchOptions.Context was cancelled carries the
+// skipped because the batch context was cancelled carries the
 // context's error.
 type JobResult struct {
 	Job    Job
@@ -29,12 +29,11 @@ type BatchOptions struct {
 	// Workers bounds the number of concurrently executing runs. Zero or
 	// negative selects runtime.GOMAXPROCS(0).
 	Workers int
-	// Context, if non-nil, makes the batch cancellable: once it is
-	// cancelled no further job starts, and every job not yet started
-	// gets the context's error as its JobResult.Err. Cancellation is
-	// checked between jobs — a run already executing finishes normally
-	// (individual runs are bounded by Config.MaxSteps, not wall-clock
-	// time), so the latency of a cancel is one in-flight run per worker.
+	// Context is the pre-v2 way to make a batch cancellable.
+	//
+	// Deprecated: pass the context as RunBatch's first parameter; this
+	// field is honored only when that parameter is nil. See
+	// docs/API_V2.md.
 	Context context.Context
 	// OnResult, if non-nil, is invoked once per job as it completes,
 	// before RunBatch returns — the streaming view of the batch, used
@@ -51,10 +50,18 @@ type BatchOptions struct {
 // regardless of which worker ran it or when it finished. Each run is as
 // deterministic as Run itself, so a batch is reproducible end to end.
 //
+// Cancelling ctx stops the batch: no further job starts, and every job
+// not yet started gets the context's error as its JobResult.Err.
+// Cancellation is checked between jobs — a run already executing
+// finishes normally (individual runs are bounded by Config.MaxSteps,
+// not wall-clock time), so the latency of a cancel is one in-flight run
+// per worker. A nil ctx falls back to the deprecated
+// BatchOptions.Context, then to context.Background().
+//
 // This is the bulk entry point for parameter sweeps and Monte Carlo
 // workloads: millions of small rings, or thousands of large ones, with
 // the pool keeping every core busy while results stay addressable.
-func RunBatch(jobs []Job, opts BatchOptions) []JobResult {
+func RunBatch(ctx context.Context, jobs []Job, opts BatchOptions) []JobResult {
 	results := make([]JobResult, len(jobs))
 	if len(jobs) == 0 {
 		return results
@@ -66,7 +73,9 @@ func RunBatch(jobs []Job, opts BatchOptions) []JobResult {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	ctx := opts.Context
+	if ctx == nil {
+		ctx = opts.Context
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -99,11 +108,27 @@ func RunBatch(jobs []Job, opts BatchOptions) []JobResult {
 
 // Sweep runs one algorithm over many configurations, a convenience
 // wrapper over RunBatch for the common "same algorithm, varied
-// parameters" shape. Results are in input order.
-func Sweep(alg Algorithm, cfgs []Config, opts BatchOptions) []JobResult {
+// parameters" shape. Results are in input order; ctx behaves as in
+// RunBatch.
+func Sweep(ctx context.Context, alg Algorithm, cfgs []Config, opts BatchOptions) []JobResult {
 	jobs := make([]Job, len(cfgs))
 	for i, cfg := range cfgs {
 		jobs[i] = Job{Algorithm: alg, Config: cfg}
 	}
-	return RunBatch(jobs, opts)
+	return RunBatch(ctx, jobs, opts)
+}
+
+// RunBatchLegacy is the pre-v2 entry point: cancellation only via the
+// deprecated BatchOptions.Context field.
+//
+// Deprecated: use RunBatch with a context.Context. See docs/API_V2.md.
+func RunBatchLegacy(jobs []Job, opts BatchOptions) []JobResult {
+	return RunBatch(nil, jobs, opts)
+}
+
+// SweepLegacy is the pre-v2 Sweep.
+//
+// Deprecated: use Sweep with a context.Context. See docs/API_V2.md.
+func SweepLegacy(alg Algorithm, cfgs []Config, opts BatchOptions) []JobResult {
+	return Sweep(nil, alg, cfgs, opts)
 }

@@ -30,7 +30,7 @@ func batchJobs(t *testing.T, count int) []agentring.Job {
 
 func TestRunBatchMatchesSequentialRuns(t *testing.T) {
 	jobs := batchJobs(t, 40)
-	results := agentring.RunBatch(jobs, agentring.BatchOptions{Workers: 4})
+	results := agentring.RunBatch(context.Background(), jobs, agentring.BatchOptions{Workers: 4})
 	if len(results) != len(jobs) {
 		t.Fatalf("results = %d, want %d", len(results), len(jobs))
 	}
@@ -56,8 +56,8 @@ func TestRunBatchMatchesSequentialRuns(t *testing.T) {
 
 func TestRunBatchDeterministicAcrossWorkerCounts(t *testing.T) {
 	jobs := batchJobs(t, 25)
-	one := agentring.RunBatch(jobs, agentring.BatchOptions{Workers: 1})
-	many := agentring.RunBatch(jobs, agentring.BatchOptions{Workers: 8})
+	one := agentring.RunBatch(context.Background(), jobs, agentring.BatchOptions{Workers: 1})
+	many := agentring.RunBatch(context.Background(), jobs, agentring.BatchOptions{Workers: 8})
 	for i := range jobs {
 		if !reflect.DeepEqual(one[i].Report.Positions, many[i].Report.Positions) {
 			t.Errorf("job %d: workers=1 %v, workers=8 %v",
@@ -69,7 +69,7 @@ func TestRunBatchDeterministicAcrossWorkerCounts(t *testing.T) {
 func TestRunBatchIsolatesFailures(t *testing.T) {
 	jobs := batchJobs(t, 3)
 	jobs[1].Config.N = -1 // invalid; must fail alone
-	results := agentring.RunBatch(jobs, agentring.BatchOptions{})
+	results := agentring.RunBatch(context.Background(), jobs, agentring.BatchOptions{})
 	if results[0].Err != nil || results[2].Err != nil {
 		t.Errorf("healthy jobs failed: %v, %v", results[0].Err, results[2].Err)
 	}
@@ -79,7 +79,7 @@ func TestRunBatchIsolatesFailures(t *testing.T) {
 }
 
 func TestRunBatchEmpty(t *testing.T) {
-	if got := agentring.RunBatch(nil, agentring.BatchOptions{}); len(got) != 0 {
+	if got := agentring.RunBatch(context.Background(), nil, agentring.BatchOptions{}); len(got) != 0 {
 		t.Errorf("RunBatch(nil) = %v", got)
 	}
 }
@@ -93,7 +93,7 @@ func TestSweepOrdersByConfig(t *testing.T) {
 		}
 		cfgs = append(cfgs, agentring.Config{N: n, Homes: homes})
 	}
-	results := agentring.Sweep(agentring.Native, cfgs, agentring.BatchOptions{Workers: 2})
+	results := agentring.Sweep(context.Background(), agentring.Native, cfgs, agentring.BatchOptions{Workers: 2})
 	for i, res := range results {
 		if res.Err != nil {
 			t.Fatalf("sweep %d: %v", i, res.Err)
@@ -111,9 +111,8 @@ func TestRunBatchContextCancel(t *testing.T) {
 	jobs := batchJobs(t, 30)
 	ctx, cancel := context.WithCancel(context.Background())
 	var fired atomic.Bool
-	results := agentring.RunBatch(jobs, agentring.BatchOptions{
+	results := agentring.RunBatch(ctx, jobs, agentring.BatchOptions{
 		Workers: 2,
-		Context: ctx,
 		OnResult: func(i int, r agentring.JobResult) {
 			// Cancel after the first completion: later jobs must be
 			// skipped with the context error instead of running.
@@ -146,9 +145,16 @@ func TestRunBatchPreCancelledSkipsEverything(t *testing.T) {
 	jobs := batchJobs(t, 5)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	for i, res := range agentring.RunBatch(jobs, agentring.BatchOptions{Context: ctx}) {
+	for i, res := range agentring.RunBatch(ctx, jobs, agentring.BatchOptions{}) {
 		if !errors.Is(res.Err, context.Canceled) {
 			t.Errorf("job %d err = %v, want context.Canceled", i, res.Err)
+		}
+	}
+	// The deprecated BatchOptions.Context field still works when no
+	// context argument is supplied (the pre-redesign call shape).
+	for i, res := range agentring.RunBatch(nil, jobs, agentring.BatchOptions{Context: ctx}) {
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Errorf("legacy job %d err = %v, want context.Canceled", i, res.Err)
 		}
 	}
 }
@@ -157,7 +163,7 @@ func TestRunBatchOnResultStreamsEveryJob(t *testing.T) {
 	jobs := batchJobs(t, 12)
 	var mu sync.Mutex
 	seen := make(map[int]agentring.JobResult)
-	results := agentring.RunBatch(jobs, agentring.BatchOptions{
+	results := agentring.RunBatch(context.Background(), jobs, agentring.BatchOptions{
 		Workers: 4,
 		OnResult: func(i int, r agentring.JobResult) {
 			mu.Lock()

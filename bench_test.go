@@ -5,6 +5,7 @@
 package agentring_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -331,7 +332,7 @@ func BenchmarkRunBatch(b *testing.B) {
 			js := mkJobs(b)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				results := agentring.RunBatch(js, agentring.BatchOptions{Workers: workers})
+				results := agentring.RunBatch(context.Background(), js, agentring.BatchOptions{Workers: workers})
 				for _, res := range results {
 					if res.Err != nil {
 						b.Fatal(res.Err)
@@ -359,4 +360,34 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(rep.Steps), "steps/run")
+}
+
+// BenchmarkExploreParallel measures the model checker's throughput on
+// a fixed heavy placement (native algorithm, n=8, four clustered
+// agents: 1693 states) across worker-pool sizes. ns/state is the
+// benchdiff-gated metric (lower is better); states/sec is the
+// human-facing rate. Speedup over workers=1 tracks the machine's core
+// count — the work-stealing frontier can only parallelize what the
+// scheduler has processors for.
+func BenchmarkExploreParallel(b *testing.B) {
+	cfg := agentring.Config{N: 8, Homes: []int{0, 1, 2, 3}}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var rep agentring.ExploreReport
+			for i := 0; i < b.N; i++ {
+				r, err := agentring.Explore(context.Background(), agentring.Native, cfg,
+					agentring.ExploreOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !r.Complete || r.Counterexample != nil {
+					b.Fatalf("bad search: %+v", r)
+				}
+				rep = r
+			}
+			states := float64(rep.States) * float64(b.N)
+			b.ReportMetric(states/b.Elapsed().Seconds(), "states/sec")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/states, "ns/state")
+		})
+	}
 }

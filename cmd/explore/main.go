@@ -16,6 +16,17 @@
 //	explore -n 5 -all -json -alg logspace    # NDJSON: one line per placement, streamed
 //	explore -n 4 -k 2 -faults 1:2:down,9:2:up # dynamic ring: link fails, recovers
 //	explore -n 4 -k 2 -faults permanent       # never repaired: finds the frozen-agent schedule
+//	explore -n 8 -all -workers 4              # exhaustive n=8 on the work-stealing pool
+//	explore -n 8 -k 5 -duration 10s           # wall-clock budget: honest partial report
+//
+// -workers sizes the search's work-stealing worker pool; every worker
+// count covers the same states and reports the same counterexample.
+// -duration bounds wall-clock time: on expiry the report says
+// complete=false rather than erroring. Ctrl-C aborts the search and
+// still prints the partial report. Under -json, running searches also
+// stream progress rows ({"type":"progress",...}) interleaved with the
+// report lines, one compact JSON object per line; report lines carry
+// no "type" field, so consumers filter on its presence.
 //
 // -faults attaches a link failure/repair timeline (a named DynRing plan
 // — transient | churn | permanent — or a raw
@@ -27,26 +38,34 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 
 	"agentring"
 	"agentring/internal/experiments"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Interrupts cancel the context, which reaches mid-search: a ^C
+	// aborts a long exploration within about one replay per worker.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "explore:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
 	var (
 		n        = fs.Int("n", 6, "ring size (ignored for torus/tree topologies)")
@@ -58,9 +77,10 @@ func run(args []string, out io.Writer) error {
 		all      = fs.Bool("all", false, "explore every initial configuration of the substrate (up to rotation on ring families; ignores -k and -homes)")
 		depth    = fs.Int("depth", 0, "schedule depth bound (0 = default)")
 		states   = fs.Int("states", 0, "distinct-state bound (0 = default)")
-		workers  = fs.Int("workers", 0, "parallel subtree workers (<=1 = sequential)")
+		workers  = fs.Int("workers", 0, "work-stealing search workers (<=1 = sequential; any value covers the same space)")
 		moves    = fs.Int("moves", 0, "total-move bound; exceeding it is a counterexample (0 = off)")
-		jsonFlag = fs.Bool("json", false, "emit the report(s) as JSON (NDJSON stream with -all)")
+		duration = fs.Duration("duration", 0, "wall-clock budget per exploration; expiring truncates the search (0 = off)")
+		jsonFlag = fs.Bool("json", false, "emit the report(s) as JSON (NDJSON stream with -all; includes progress rows)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,10 +90,13 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	opts := agentring.ExploreOptions{
-		MaxDepth:      *depth,
-		MaxStates:     *states,
-		Workers:       *workers,
-		MaxTotalMoves: *moves,
+		Budget: agentring.Budget{
+			MaxDepth:      *depth,
+			MaxStates:     *states,
+			MaxTotalMoves: *moves,
+			MaxDuration:   *duration,
+		},
+		Workers: *workers,
 	}
 
 	topo, err := agentring.ParseTopology(*topoSpec, *n)
@@ -85,14 +108,37 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	// In -json mode, searches stream NDJSON progress rows (type
+	// "progress") interleaved with the report rows; the shared encoder
+	// mutex keeps concurrent emissions line-atomic. Report rows keep
+	// their pre-progress shapes (no "type" field), so existing consumers
+	// can filter on the field's presence.
+	var encMu sync.Mutex
+	enc := json.NewEncoder(out)
+	if *jsonFlag {
+		opts.Progress = func(p agentring.ExploreProgress) {
+			encMu.Lock()
+			defer encMu.Unlock()
+			enc.Encode(progressJSON{
+				Type:      "progress",
+				States:    p.States,
+				Frontier:  p.Frontier,
+				CacheHits: p.CacheHits,
+				Replays:   p.Replays,
+				ElapsedMS: p.Elapsed.Milliseconds(),
+			})
+		}
+	}
+
 	if *all {
 		if *jsonFlag {
 			// Stream one NDJSON line per explored placement, so long
 			// enumerations report progress as they go instead of buffering
 			// everything into one array.
 			var encErr error
-			enc := json.NewEncoder(out)
-			_, exploreErr := experiments.ExploreAllStream(alg, *topoSpec, *n, faults, opts, func(r experiments.ExploreRow) {
+			_, exploreErr := experiments.ExploreAllStream(ctx, alg, *topoSpec, *n, faults, opts, func(r experiments.ExploreRow) {
+				encMu.Lock()
+				defer encMu.Unlock()
 				if encErr == nil {
 					encErr = enc.Encode(exploreJSONRow(r))
 				}
@@ -102,7 +148,7 @@ func run(args []string, out io.Writer) error {
 			}
 			return exploreErr
 		}
-		rows, exploreErr := experiments.ExploreAllUnderFaults(alg, *topoSpec, *n, faults, opts)
+		rows, exploreErr := experiments.ExploreAllUnderFaults(ctx, alg, *topoSpec, *n, faults, opts)
 		fmt.Fprint(out, experiments.FormatExploreRows(rows))
 		return exploreErr
 	}
@@ -111,14 +157,17 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	rep, err := agentring.Explore(alg, agentring.Config{Topology: topo, Homes: homes, Faults: faults}, opts)
+	rep, err := agentring.Explore(ctx, alg, agentring.Config{Topology: topo, Homes: homes, Faults: faults}, opts)
 	if err != nil {
 		return err
 	}
 	if *jsonFlag {
 		// One compact line, the single-report degenerate case of the
 		// -all NDJSON stream.
-		if err := json.NewEncoder(out).Encode(rep); err != nil {
+		encMu.Lock()
+		err := enc.Encode(rep)
+		encMu.Unlock()
+		if err != nil {
 			return err
 		}
 	} else {
@@ -196,6 +245,17 @@ func printReport(out io.Writer, homes []int, rep agentring.ExploreReport) {
 	} else {
 		fmt.Fprintln(out, "  no counterexample: every explored schedule deploys uniformly")
 	}
+}
+
+// progressJSON is one live-progress NDJSON line, distinguished from
+// report rows by its "type" field.
+type progressJSON struct {
+	Type      string `json:"type"`
+	States    int64  `json:"states"`
+	Frontier  int64  `json:"frontier"`
+	CacheHits int64  `json:"cache_hits"`
+	Replays   int64  `json:"replays"`
+	ElapsedMS int64  `json:"elapsed_ms"`
 }
 
 // exploreRowJSON is one -all NDJSON line, with stable field names.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -9,7 +10,7 @@ import (
 
 func TestExploreClean(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-n", "6", "-k", "2"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-n", "6", "-k", "2"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -23,7 +24,7 @@ func TestExploreClean(t *testing.T) {
 
 func TestExploreNaiveCounterexampleExitsNonZero(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-n", "8", "-homes", "0,1,2,3,4", "-alg", "naive"}, &out)
+	err := run(context.Background(), []string{"-n", "8", "-homes", "0,1,2,3,4", "-alg", "naive"}, &out)
 	if err == nil {
 		t.Fatal("counterexample run must return an error for the non-zero exit")
 	}
@@ -37,49 +38,73 @@ func TestExploreNaiveCounterexampleExitsNonZero(t *testing.T) {
 
 func TestExploreJSON(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-n", "5", "-k", "2", "-json"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-n", "5", "-k", "2", "-json"}, &out); err != nil {
 		t.Fatal(err)
 	}
-	var rep map[string]any
-	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
-		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	// -json streams NDJSON: progress rows (marked type=progress) plus
+	// exactly one report row, distinguished by the absence of "type".
+	reports, progress := splitNDJSON(t, out.String())
+	if len(reports) != 1 {
+		t.Fatalf("want exactly 1 report row, got %d:\n%s", len(reports), out.String())
 	}
+	rep := reports[0]
 	if rep["complete"] != true {
 		t.Errorf("complete = %v", rep["complete"])
 	}
 	if _, ok := rep["states"].(float64); !ok {
 		t.Errorf("states missing: %v", rep)
 	}
+	if len(progress) == 0 {
+		t.Error("no progress rows in -json output")
+	}
+	for i, p := range progress {
+		if _, ok := p["states"].(float64); !ok {
+			t.Errorf("progress row %d has no states field: %v", i, p)
+		}
+	}
+}
+
+// splitNDJSON parses every line of s as a JSON object and partitions
+// the rows into reports (no "type" field) and progress rows.
+func splitNDJSON(t *testing.T, s string) (reports, progress []map[string]any) {
+	t.Helper()
+	for i, line := range strings.Split(strings.TrimSpace(s), "\n") {
+		var row map[string]any
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("line %d is not a JSON object: %v\n%s", i, err, line)
+		}
+		if row["type"] == "progress" {
+			progress = append(progress, row)
+		} else {
+			reports = append(reports, row)
+		}
+	}
+	return reports, progress
 }
 
 func TestExploreAllJSONStreamsNDJSON(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-n", "4", "-all", "-json", "-alg", "logspace"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-n", "4", "-all", "-json", "-alg", "logspace"}, &out); err != nil {
 		t.Fatal(err)
 	}
-	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
-	if len(lines) < 2 {
-		t.Fatalf("want one NDJSON line per placement, got %d:\n%s", len(lines), out.String())
+	reports, _ := splitNDJSON(t, out.String())
+	if len(reports) < 2 {
+		t.Fatalf("want one NDJSON report line per placement, got %d:\n%s", len(reports), out.String())
 	}
-	for i, line := range lines {
-		var row struct {
-			Algorithm string         `json:"algorithm"`
-			N         int            `json:"n"`
-			Homes     []int          `json:"homes"`
-			Report    map[string]any `json:"report"`
+	for i, raw := range reports {
+		homes, _ := raw["homes"].([]any)
+		if raw["algorithm"] != "logspace" || raw["n"] != float64(4) || len(homes) == 0 {
+			t.Errorf("report %d: %+v", i, raw)
 		}
-		if err := json.Unmarshal([]byte(line), &row); err != nil {
-			t.Fatalf("line %d is not a JSON object: %v\n%s", i, err, line)
-		}
-		if row.Algorithm != "logspace" || row.N != 4 || len(row.Homes) == 0 {
-			t.Errorf("line %d: %+v", i, row)
+		if _, ok := raw["report"].(map[string]any); !ok {
+			t.Errorf("report %d has no nested report object: %+v", i, raw)
 		}
 	}
 }
 
 func TestExploreAllPlacements(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-n", "4", "-all", "-alg", "logspace"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-n", "4", "-all", "-alg", "logspace"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -93,20 +118,20 @@ func TestExploreAllPlacements(t *testing.T) {
 
 func TestExploreBadArgs(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-alg", "nope"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-alg", "nope"}, &out); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if err := run([]string{"-n", "3", "-k", "9"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-n", "3", "-k", "9"}, &out); err == nil {
 		t.Error("k > n accepted")
 	}
-	if err := run([]string{"-homes", "0,x"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-homes", "0,x"}, &out); err == nil {
 		t.Error("malformed homes accepted")
 	}
 }
 
 func TestExploreBiRingBiNative(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-topology", "biring", "-alg", "binative", "-n", "5", "-k", "2"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-topology", "biring", "-alg", "binative", "-n", "5", "-k", "2"}, &out); err != nil {
 		t.Fatalf("biring binative exploration failed: %v\n%s", err, out.String())
 	}
 	s := out.String()
@@ -117,7 +142,7 @@ func TestExploreBiRingBiNative(t *testing.T) {
 
 func TestExploreTorusSmoke(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-topology", "torus=2x3", "-alg", "native", "-k", "2"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-topology", "torus=2x3", "-alg", "native", "-k", "2"}, &out); err != nil {
 		t.Fatalf("torus exploration failed: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "torus(2x3)") {

@@ -30,26 +30,32 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"agentring"
 	"agentring/internal/experiments"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Interrupts cancel the context; the batch stops between cells.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
 		algName  = fs.String("alg", "all", "algorithm: native | logspace | relaxed | binative | all")
@@ -136,9 +142,9 @@ func run(args []string, out io.Writer) error {
 	var jsonErr error
 	runSpecs := func(specs []experiments.Spec) ([]experiments.Row, error) {
 		if !*jsonFlag {
-			return experiments.RunAll(specs, *workers)
+			return experiments.RunAll(ctx, specs, *workers)
 		}
-		return experiments.RunAllStream(specs, *workers, func(r experiments.Row) {
+		return experiments.RunAllStream(ctx, specs, *workers, func(r experiments.Row) {
 			if jsonErr == nil {
 				jsonErr = experiments.WriteJSONRow(out, r)
 			}

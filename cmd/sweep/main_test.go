@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -12,7 +13,7 @@ import (
 
 func TestSweepNative(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-alg", "native"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-alg", "native"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -26,7 +27,7 @@ func TestSweepNative(t *testing.T) {
 
 func TestSweepRelaxedDegrees(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-alg", "relaxed"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-alg", "relaxed"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -50,7 +51,7 @@ func TestDivisorsUpTo(t *testing.T) {
 
 func TestSweepJSON(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-alg", "relaxed", "-json", "-workers", "2"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-alg", "relaxed", "-json", "-workers", "2"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	// -json streams NDJSON: one self-contained object per line, not one
@@ -78,7 +79,7 @@ func TestSweepJSON(t *testing.T) {
 
 func TestSweepBadFlag(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-alg"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-alg"}, &out); err == nil {
 		t.Error("dangling flag must error")
 	}
 }
@@ -87,7 +88,7 @@ func TestSweepExitCodes(t *testing.T) {
 	// All shipped sweeps are expected uniform, so a healthy run exits
 	// cleanly...
 	var out bytes.Buffer
-	if err := run([]string{"-alg", "native"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-alg", "native"}, &out); err != nil {
 		t.Fatalf("uniform sweep must pass: %v", err)
 	}
 	// ...and the failure detector that feeds the non-zero exit flags
@@ -104,24 +105,24 @@ func TestSweepExitCodes(t *testing.T) {
 
 func TestSweepBiRingBiNative(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-topology", "biring", "-alg", "binative"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-topology", "biring", "-alg", "binative"}, &out); err != nil {
 		t.Fatalf("biring binative sweep failed: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "Bidirectional variant") {
 		t.Errorf("missing binative section:\n%s", out.String())
 	}
-	if err := run([]string{"-alg", "binative"}, &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), []string{"-alg", "binative"}, &bytes.Buffer{}); err == nil {
 		t.Error("binative without -topology biring should fail")
 	}
 }
 
 func TestSweepFixedSubstrates(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-topology", "torus=8x8", "-alg", "native"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-topology", "torus=8x8", "-alg", "native"}, &out); err != nil {
 		t.Fatalf("torus sweep failed: %v\n%s", err, out.String())
 	}
 	out.Reset()
-	if err := run([]string{"-topology", "tree=0-1,1-2,2-3,3-4,4-5,5-6,6-7,7-8", "-alg", "logspace"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-topology", "tree=0-1,1-2,2-3,3-4,4-5,5-6,6-7,7-8", "-alg", "logspace"}, &out); err != nil {
 		t.Fatalf("tree sweep failed: %v\n%s", err, out.String())
 	}
 }

@@ -1,6 +1,7 @@
 package agentring_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -84,7 +85,7 @@ func ExampleIsUniform() {
 // schedule of one initial configuration: full coverage with no
 // counterexample is a mechanically checked proof on this instance.
 func ExampleExplore() {
-	rep, err := agentring.Explore(agentring.Native, agentring.Config{
+	rep, err := agentring.Explore(context.Background(), agentring.Native, agentring.Config{
 		N: 5, Homes: []int{0, 1},
 	}, agentring.ExploreOptions{})
 	if err != nil {

@@ -1,26 +1,27 @@
 package agentring
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"agentring/internal/explore"
 	"agentring/internal/ring"
 	"agentring/internal/sim"
 )
 
-// ExploreOptions bounds a schedule-space exploration.
-type ExploreOptions struct {
+// Budget bounds one schedule-space exploration. Every field is a pure
+// budget: exhausting it stops the search where it is and reports
+// Complete == false (with the cut branches counted in Truncated); none
+// of them is an error. The zero value selects generous defaults for
+// MaxDepth and MaxStates and leaves the rest unbounded.
+type Budget struct {
 	// MaxDepth bounds the length of an explored schedule (decisions per
-	// execution); zero selects a generous default. Branches cut at the
-	// bound are reported in ExploreReport.Truncated.
+	// execution); zero selects a generous default.
 	MaxDepth int
 	// MaxStates bounds the number of distinct global states expanded;
 	// zero selects a generous default.
 	MaxStates int
-	// Workers parallelizes the search across the root's subtrees on a
-	// bounded worker pool (the RunBatch pattern). Values <= 1 run
-	// sequentially and make the first counterexample deterministic.
-	Workers int
 	// MaxSteps is the per-replay engine step bound (0 = automatic); a
 	// schedule that exceeds it is reported as a counterexample.
 	MaxSteps int
@@ -28,6 +29,106 @@ type ExploreOptions struct {
 	// move count exceeds it into a counterexample — a mechanical check
 	// of the paper's move-complexity bounds along every schedule.
 	MaxTotalMoves int
+	// MaxDuration, if positive, bounds the search's wall-clock time.
+	// When it expires the report is truncated, not an error — unlike a
+	// context deadline, which aborts with the context's error.
+	MaxDuration time.Duration
+}
+
+// Reduction selects the explorer's partial-order reduction mode.
+type Reduction int
+
+const (
+	// ReductionAuto (the default) applies the sleep-set reduction over
+	// the per-directed-edge independence relation — depth-stratified
+	// around fault boundaries when Config.Faults is non-empty.
+	ReductionAuto Reduction = iota
+	// ReductionOff explores without suppressing commuting reorderings,
+	// leaving only canonical-state caching. The covered state set is
+	// identical; only the work to cover it changes. Used to cross-check
+	// the reduction.
+	ReductionOff
+)
+
+// ExploreProgress is one live snapshot of a running exploration,
+// delivered to ExploreOptions.Progress.
+type ExploreProgress struct {
+	// States is the number of distinct global states expanded so far.
+	States int64 `json:"states"`
+	// Frontier is the number of schedule prefixes queued or being
+	// expanded across the worker pool.
+	Frontier int64 `json:"frontier"`
+	// CacheHits counts replays that converged onto an already-explored
+	// state.
+	CacheHits int64 `json:"cache_hits"`
+	// Replays and StepsReplayed measure the search's real cost so far.
+	Replays       int64 `json:"replays"`
+	StepsReplayed int64 `json:"steps_replayed"`
+	// Elapsed is the wall-clock time since the search started, in
+	// nanoseconds (time.Duration's native JSON encoding).
+	Elapsed time.Duration `json:"elapsed"`
+}
+
+// ExploreOptions tunes a schedule-space exploration: a Budget plus
+// search knobs.
+//
+// The pre-v2 flat bound fields remain as deprecated aliases so existing
+// callers keep compiling; each one is honored only when the
+// corresponding Budget field is zero. Migration is mechanical:
+//
+//	MaxDepth      -> Budget.MaxDepth
+//	MaxStates     -> Budget.MaxStates
+//	MaxSteps      -> Budget.MaxSteps
+//	MaxTotalMoves -> Budget.MaxTotalMoves
+//
+// (Workers was and remains a top-level knob.) See docs/API_V2.md.
+type ExploreOptions struct {
+	// Budget bounds the search.
+	Budget Budget
+	// Workers sizes the search's work-stealing worker pool; values <= 1
+	// run sequentially. Every worker count covers the same state set
+	// and reports the same counterexample — parallelism only changes
+	// wall-clock time.
+	Workers int
+	// Reduction selects the partial-order reduction mode (default
+	// ReductionAuto).
+	Reduction Reduction
+	// Progress, if non-nil, receives periodic snapshots of the running
+	// search (roughly every 200ms, plus a final one). Called from a
+	// dedicated goroutine concurrently with the search; must be cheap
+	// and concurrency-safe. No calls happen after Explore returns.
+	Progress func(ExploreProgress)
+
+	// Deprecated: use Budget.MaxDepth. Honored when Budget.MaxDepth is
+	// zero.
+	MaxDepth int
+	// Deprecated: use Budget.MaxStates. Honored when Budget.MaxStates
+	// is zero.
+	MaxStates int
+	// Deprecated: use Budget.MaxSteps. Honored when Budget.MaxSteps is
+	// zero.
+	MaxSteps int
+	// Deprecated: use Budget.MaxTotalMoves. Honored when
+	// Budget.MaxTotalMoves is zero.
+	MaxTotalMoves int
+}
+
+// effectiveBudget folds the deprecated flat fields into the Budget.
+func (o ExploreOptions) effectiveBudget() Budget {
+	b := o.Budget
+	if b.MaxDepth == 0 {
+		b.MaxDepth = o.MaxDepth
+	}
+	if b.MaxStates == 0 {
+		b.MaxStates = o.MaxStates
+	}
+	if b.MaxSteps == 0 {
+		b.MaxSteps = o.MaxSteps
+	}
+	if b.MaxTotalMoves == 0 {
+		b.MaxTotalMoves = o.MaxTotalMoves
+	}
+	return b
 }
 
 // ExploreCounterexample is a concrete schedule defeating uniform
@@ -72,8 +173,8 @@ type ExploreReport struct {
 	// distinct terminal configurations among them.
 	Terminals         int `json:"terminals"`
 	DistinctTerminals int `json:"distinct_terminals"`
-	// Truncated counts branches cut by MaxDepth or MaxStates; Deepest
-	// is the longest schedule expanded.
+	// Truncated counts branches cut by the Budget (MaxDepth, MaxStates
+	// or MaxDuration); Deepest is the longest schedule expanded.
 	Truncated int `json:"truncated"`
 	Deepest   int `json:"deepest"`
 	// Complete reports that the whole schedule space was covered within
@@ -87,26 +188,36 @@ type ExploreReport struct {
 // Explore model-checks the algorithm's behaviour over the asynchronous
 // schedule space of one initial configuration: it enumerates all
 // interleavings of atomic actions (up to commuting reorderings and
-// converged states) within the given bounds, and reports the first
+// converged states) within the given budget, and reports the first
 // schedule ending in a non-uniform terminal configuration, agent
 // failure, or exceeded bound. A nil Counterexample with Complete true
 // is a mechanically checked proof that the algorithm deploys uniformly
 // under every asynchronous schedule from this configuration.
-// Config.Topology selects the substrate (default: the unidirectional
-// ring of Config.N nodes); the partial-order reduction adapts its
-// commutation footprints to the substrate's out-neighbourhoods.
+//
+// The search runs on a work-stealing worker pool (ExploreOptions.
+// Workers) and its report is deterministic for any worker count: the
+// covered state set is visit-order independent, and a parallel search
+// that finds a violation re-runs sequentially to pin the canonical
+// (lexicographically least) counterexample. Config.Topology selects the
+// substrate (default: the unidirectional ring of Config.N nodes); the
+// partial-order reduction commutes actions per directed-edge FIFO.
 //
 // Config.Faults makes the substrate dynamic: the search enumerates
 // every agent interleaving around the fixed failure/repair timeline,
 // and a terminal state with agents frozen on a never-repaired link is a
-// counterexample. Step-indexed mutations break action commutativity, so
-// the sleep-set reduction is disabled and state convergence is only
-// recognized between equal-length schedules — fault searches cover the
-// same space with more replays.
+// counterexample. Step-indexed mutations localize, rather than disable,
+// the reduction: sleep sets stratify around the depths where a fault
+// fires, and state convergence is only recognized between equal-length
+// schedules — fault searches cover the same space with more replays.
 //
-// Config's Scheduler, Seed and TraceCapacity are ignored: the explorer
-// drives scheduling itself.
-func Explore(alg Algorithm, cfg Config, opts ExploreOptions) (ExploreReport, error) {
+// Cancelling ctx aborts the search mid-flight: Explore then returns the
+// partial report alongside ctx's error. A nil ctx is treated as
+// context.Background(). Config's Scheduler, Seed and TraceCapacity are
+// ignored: the explorer drives scheduling itself.
+func Explore(ctx context.Context, alg Algorithm, cfg Config, opts ExploreOptions) (ExploreReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	st, n, err := resolveTopology(cfg)
 	if err != nil {
 		return ExploreReport{}, err
@@ -125,7 +236,22 @@ func Explore(alg Algorithm, cfg Config, opts ExploreOptions) (ExploreReport, err
 	if _, err := buildPrograms(alg, cfg, n, k); err != nil {
 		return ExploreReport{}, err
 	}
-	rep, err := explore.Explore(explore.Setup{
+	budget := opts.effectiveBudget()
+	var progress func(explore.Progress)
+	if opts.Progress != nil {
+		emit := opts.Progress
+		progress = func(p explore.Progress) {
+			emit(ExploreProgress{
+				States:        p.States,
+				Frontier:      p.Frontier,
+				CacheHits:     p.CacheHits,
+				Replays:       p.Replays,
+				StepsReplayed: p.StepsReplayed,
+				Elapsed:       p.Elapsed,
+			})
+		}
+	}
+	rep, err := explore.Explore(ctx, explore.Setup{
 		N:        n,
 		Topology: st,
 		Homes:    homes,
@@ -134,13 +260,16 @@ func Explore(alg Algorithm, cfg Config, opts ExploreOptions) (ExploreReport, err
 			return buildPrograms(alg, cfg, n, k)
 		},
 	}, explore.Options{
-		MaxDepth:      opts.MaxDepth,
-		MaxStates:     opts.MaxStates,
-		Workers:       opts.Workers,
-		MaxSteps:      opts.MaxSteps,
-		MaxTotalMoves: opts.MaxTotalMoves,
+		MaxDepth:         budget.MaxDepth,
+		MaxStates:        budget.MaxStates,
+		MaxSteps:         budget.MaxSteps,
+		MaxTotalMoves:    budget.MaxTotalMoves,
+		MaxDuration:      budget.MaxDuration,
+		Workers:          opts.Workers,
+		DisableReduction: opts.Reduction == ReductionOff,
+		Progress:         progress,
 	})
-	if err != nil {
+	if err != nil && ctx.Err() == nil {
 		return ExploreReport{}, fmt.Errorf("%w: %v", ErrConfig, err)
 	}
 	out := ExploreReport{
@@ -168,5 +297,17 @@ func Explore(alg Algorithm, cfg Config, opts ExploreOptions) (ExploreReport, err
 			Trace:     cex.String(),
 		}
 	}
-	return out, nil
+	// A cancelled context surfaces as the context's error with the
+	// partial report attached, so callers can both distinguish an abort
+	// from a finding and still see how far the search got.
+	return out, err
+}
+
+// ExploreLegacy is the pre-v2 entry point: no context, flat bound
+// fields only.
+//
+// Deprecated: use Explore with a context.Context; flat bound fields in
+// opts keep working there too. See docs/API_V2.md.
+func ExploreLegacy(alg Algorithm, cfg Config, opts ExploreOptions) (ExploreReport, error) {
+	return Explore(context.Background(), alg, cfg, opts)
 }

@@ -1,15 +1,18 @@
 package agentring_test
 
 import (
+	"context"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"agentring"
 )
 
 func TestExploreNativeComplete(t *testing.T) {
-	rep, err := agentring.Explore(agentring.Native, agentring.Config{
+	rep, err := agentring.Explore(context.Background(), agentring.Native, agentring.Config{
 		N: 6, Homes: []int{0, 1, 3},
 	}, agentring.ExploreOptions{})
 	if err != nil {
@@ -36,7 +39,7 @@ func TestExploreTheorem5Counterexample(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := agentring.Explore(agentring.NaiveHalting, agentring.Config{N: n, Homes: homes},
+	rep, err := agentring.Explore(context.Background(), agentring.NaiveHalting, agentring.Config{N: n, Homes: homes},
 		agentring.ExploreOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -57,12 +60,12 @@ func TestExploreTheorem5Counterexample(t *testing.T) {
 }
 
 func TestExploreWorkers(t *testing.T) {
-	seq, err := agentring.Explore(agentring.LogSpace, agentring.Config{N: 5, Homes: []int{0, 2}},
+	seq, err := agentring.Explore(context.Background(), agentring.LogSpace, agentring.Config{N: 5, Homes: []int{0, 2}},
 		agentring.ExploreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := agentring.Explore(agentring.LogSpace, agentring.Config{N: 5, Homes: []int{0, 2}},
+	par, err := agentring.Explore(context.Background(), agentring.LogSpace, agentring.Config{N: 5, Homes: []int{0, 2}},
 		agentring.ExploreOptions{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -84,8 +87,135 @@ func TestExploreConfigErrors(t *testing.T) {
 		{"unknown algorithm", agentring.Algorithm(99), agentring.Config{N: 4, Homes: []int{0}}},
 	}
 	for _, tc := range cases {
-		if _, err := agentring.Explore(tc.alg, tc.cfg, agentring.ExploreOptions{}); !errors.Is(err, agentring.ErrConfig) {
+		if _, err := agentring.Explore(context.Background(), tc.alg, tc.cfg, agentring.ExploreOptions{}); !errors.Is(err, agentring.ErrConfig) {
 			t.Errorf("%s: err = %v, want ErrConfig", tc.name, err)
+		}
+	}
+}
+
+// TestExploreBudgetAndDeprecatedFieldsAgree: the deprecated flat bound
+// fields are honored exactly when the corresponding Budget field is
+// zero, so pre-redesign callers keep their behaviour and migrated
+// callers win any mixed-use tie.
+func TestExploreBudgetAndDeprecatedFieldsAgree(t *testing.T) {
+	cfg := agentring.Config{N: 6, Homes: []int{0, 1, 3}}
+	viaBudget, err := agentring.Explore(context.Background(), agentring.Native, cfg,
+		agentring.ExploreOptions{Budget: agentring.Budget{MaxDepth: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaFlat, err := agentring.Explore(context.Background(), agentring.Native, cfg,
+		agentring.ExploreOptions{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaBudget.States != viaFlat.States || viaBudget.Truncated != viaFlat.Truncated {
+		t.Fatalf("deprecated MaxDepth diverges from Budget.MaxDepth: %+v vs %+v", viaFlat, viaBudget)
+	}
+	if viaBudget.Complete {
+		t.Fatal("depth 3 cannot cover the space; Complete must be false")
+	}
+	// Budget wins when both are set.
+	mixed, err := agentring.Explore(context.Background(), agentring.Native, cfg,
+		agentring.ExploreOptions{Budget: agentring.Budget{MaxDepth: 3}, MaxDepth: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.States != viaBudget.States {
+		t.Fatalf("flat field overrode a set Budget field: %+v vs %+v", mixed, viaBudget)
+	}
+}
+
+// TestExploreLegacyShim: the deprecated context-free entry point still
+// works and matches the ctx-first call.
+func TestExploreLegacyShim(t *testing.T) {
+	cfg := agentring.Config{N: 5, Homes: []int{0, 2}}
+	legacy, err := agentring.ExploreLegacy(agentring.Native, cfg, agentring.ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modern, err := agentring.Explore(context.Background(), agentring.Native, cfg, agentring.ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.States != modern.States || legacy.Complete != modern.Complete {
+		t.Fatalf("legacy shim diverges: %+v vs %+v", legacy, modern)
+	}
+}
+
+// TestExploreMaxDurationTruncates: the wall-clock budget reaches the
+// facade: an expiring MaxDuration yields an honest partial report, not
+// an error.
+func TestExploreMaxDurationTruncates(t *testing.T) {
+	rep, err := agentring.Explore(context.Background(), agentring.Native,
+		agentring.Config{N: 8, Homes: []int{0, 1, 2, 3, 4}},
+		agentring.ExploreOptions{Budget: agentring.Budget{MaxDuration: 5 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Complete {
+		t.Fatal("5ms budget on an n=8 k=5 search claims complete coverage")
+	}
+	if rep.Truncated == 0 {
+		t.Error("no truncated branches in a budget-expired report")
+	}
+}
+
+// TestExploreContextCancelReturnsPartialReport: cancelling the context
+// surfaces the context error alongside the partial report.
+func TestExploreContextCancelReturnsPartialReport(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	rep, err := agentring.Explore(ctx, agentring.Native,
+		agentring.Config{N: 8, Homes: []int{0, 1, 2, 3, 4}}, agentring.ExploreOptions{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if rep.Complete {
+		t.Fatal("cancelled search claims completeness")
+	}
+}
+
+// TestExploreProgressCallback: the Progress option delivers at least a
+// final snapshot consistent with the report.
+func TestExploreProgressCallback(t *testing.T) {
+	var mu sync.Mutex
+	var snaps []agentring.ExploreProgress
+	rep, err := agentring.Explore(context.Background(), agentring.Native,
+		agentring.Config{N: 6, Homes: []int{0, 2, 4}},
+		agentring.ExploreOptions{Progress: func(p agentring.ExploreProgress) {
+			mu.Lock()
+			snaps = append(snaps, p)
+			mu.Unlock()
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(snaps) == 0 {
+		t.Fatal("no progress snapshots delivered")
+	}
+	final := snaps[len(snaps)-1]
+	if final.States != int64(rep.States) {
+		t.Errorf("final snapshot states=%d, report states=%d", final.States, rep.States)
+	}
+}
+
+// TestRunBatchLegacyShim covers the deprecated batch entry points.
+func TestRunBatchLegacyShim(t *testing.T) {
+	cfgs := []agentring.Config{{N: 12, Homes: []int{0, 1}}, {N: 16, Homes: []int{0, 4, 8, 12}}}
+	legacy := agentring.SweepLegacy(agentring.Native, cfgs, agentring.BatchOptions{})
+	modern := agentring.Sweep(context.Background(), agentring.Native, cfgs, agentring.BatchOptions{})
+	if len(legacy) != len(modern) {
+		t.Fatalf("%d legacy results vs %d", len(legacy), len(modern))
+	}
+	for i := range legacy {
+		if legacy[i].Err != nil || modern[i].Err != nil {
+			t.Fatalf("result %d errored: %v / %v", i, legacy[i].Err, modern[i].Err)
+		}
+		if legacy[i].Report.TotalMoves != modern[i].Report.TotalMoves {
+			t.Errorf("result %d diverges: %+v vs %+v", i, legacy[i].Report, modern[i].Report)
 		}
 	}
 }

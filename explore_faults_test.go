@@ -1,6 +1,7 @@
 package agentring_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -34,7 +35,7 @@ func TestExploreNativeTransientFaultEveryPlacement(t *testing.T) {
 					homes = append(homes, v)
 				}
 			}
-			rep, err := agentring.Explore(agentring.Native, agentring.Config{
+			rep, err := agentring.Explore(context.Background(), agentring.Native, agentring.Config{
 				N: n, Homes: homes, Faults: faults,
 			}, agentring.ExploreOptions{})
 			if err != nil {
@@ -56,7 +57,7 @@ func TestExploreNativeTransientFaultEveryPlacement(t *testing.T) {
 // — the schedule that drives an agent onto the dead link and leaves it
 // frozen there forever.
 func TestExplorePermanentFaultFindsFrozenSchedule(t *testing.T) {
-	rep, err := agentring.Explore(agentring.Native, agentring.Config{
+	rep, err := agentring.Explore(context.Background(), agentring.Native, agentring.Config{
 		N:     4,
 		Homes: []int{0, 1},
 		Faults: []agentring.FaultEvent{

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"agentring"
@@ -89,5 +90,5 @@ func DynRingSpecs(alg agentring.Algorithm, ns, ks []int, plan string, seed int64
 // nothing the algorithms can observe. The permanent plan documents the
 // converse: rows whose deployment needs the dead link fail.
 func DynRingSweep(alg agentring.Algorithm, ns, ks []int, plan string, seed int64) ([]Row, error) {
-	return RunAll(DynRingSpecs(alg, ns, ks, plan, seed), 0)
+	return RunAll(context.Background(), DynRingSpecs(alg, ns, ks, plan, seed), 0)
 }

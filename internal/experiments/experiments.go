@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -132,9 +133,10 @@ func Run(spec Spec) (Row, error) {
 // RunAll executes the specs across agentring.RunBatch's bounded worker
 // pool and returns their rows in input order. workers <= 0 selects the
 // batch default (GOMAXPROCS). The first failed spec is reported as the
-// error, after every spec has run.
-func RunAll(specs []Spec, workers int) ([]Row, error) {
-	return RunAllStream(specs, workers, nil)
+// error, after every spec has run. Cancelling ctx stops the sweep
+// between runs (RunBatch semantics); nil ctx means Background.
+func RunAll(ctx context.Context, specs []Spec, workers int) ([]Row, error) {
+	return RunAllStream(ctx, specs, workers, nil)
 }
 
 // RunAllStream is RunAll with ordered streaming: every successful row
@@ -143,7 +145,7 @@ func RunAll(specs []Spec, workers int) ([]Row, error) {
 // rows trickle out in grid order while the batch is still running,
 // instead of waiting for the whole sweep. emit is called from a worker
 // goroutine but never concurrently; nil emit degrades to RunAll.
-func RunAllStream(specs []Spec, workers int, emit func(Row)) ([]Row, error) {
+func RunAllStream(ctx context.Context, specs []Spec, workers int, emit func(Row)) ([]Row, error) {
 	jobs := make([]agentring.Job, len(specs))
 	for i, spec := range specs {
 		cfg, err := spec.Config()
@@ -179,7 +181,7 @@ func RunAllStream(specs []Spec, workers int, emit func(Row)) ([]Row, error) {
 			}
 		}
 	}
-	results := agentring.RunBatch(jobs, opts)
+	results := agentring.RunBatch(ctx, jobs, opts)
 	rows := make([]Row, len(specs))
 	var firstErr error
 	for i, res := range results {
@@ -224,7 +226,7 @@ func Table1Specs(alg agentring.Algorithm, ns, ks []int, seed int64) []Spec {
 // regenerates the corresponding column of Table 1 empirically. Runs
 // execute batched across all cores.
 func Table1Sweep(alg agentring.Algorithm, ns, ks []int, seed int64) ([]Row, error) {
-	return RunAll(Table1Specs(alg, ns, ks, seed), 0)
+	return RunAll(context.Background(), Table1Specs(alg, ns, ks, seed), 0)
 }
 
 // DegreeSpecs enumerates the symmetry-degree sweep DegreeSweep measures.
@@ -248,7 +250,7 @@ func DegreeSpecs(n, k int, degrees []int, seed int64) []Spec {
 // for a fixed (n, k), regenerating Table 1 column 4's l-dependence.
 // Runs execute batched across all cores.
 func DegreeSweep(n, k int, degrees []int, seed int64) ([]Row, error) {
-	return RunAll(DegreeSpecs(n, k, degrees, seed), 0)
+	return RunAll(context.Background(), DegreeSpecs(n, k, degrees, seed), 0)
 }
 
 // LowerBound runs the Fig 3 clustered configuration and returns the

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -174,7 +175,7 @@ func TestMovesScaleLinearlyInKN(t *testing.T) {
 func TestRunAllStreamOrderedEmission(t *testing.T) {
 	specs := Table1Specs(agentring.Native, []int{16, 24, 32}, []int{2, 4}, 7)
 	var streamed []Row
-	rows, err := RunAllStream(specs, 4, func(r Row) {
+	rows, err := RunAllStream(context.Background(), specs, 4, func(r Row) {
 		streamed = append(streamed, r)
 	})
 	if err != nil {
@@ -193,7 +194,7 @@ func TestRunAllStreamOrderedEmission(t *testing.T) {
 }
 
 func TestWriteJSONRowIsOneCompactLine(t *testing.T) {
-	rows, err := RunAll(Table1Specs(agentring.Native, []int{16}, []int{2}, 1), 1)
+	rows, err := RunAll(context.Background(), Table1Specs(agentring.Native, []int{16}, []int{2}, 1), 1)
 	if err != nil {
 		t.Fatal(err)
 	}

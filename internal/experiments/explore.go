@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -45,13 +46,58 @@ func AllPlacements(n int) [][]int {
 	return out
 }
 
+// AllPlacementsDihedral is AllPlacements deduplicated up to the full
+// dihedral group: rotations and reflections of the node numbering.
+// Reflection is only a schedule-space symmetry for substrates whose
+// dynamics are mirror-invariant — which the explored ring families are
+// NOT in general: BiNative breaks chirality by electing its selection
+// circuit through port 0 (the forward direction), so mirrored biring
+// placements generate genuinely different searches (pinned by
+// TestBiNativeChirality). Use this enumeration only when per-placement
+// results need not transfer across the reflection (e.g. sampling
+// representative placements for cross-checks), never to claim orbit
+// coverage; coverage sweeps use AllPlacements.
+func AllPlacementsDihedral(n int) [][]int {
+	var out [][]int
+	for mask := 1; mask < 1<<n; mask++ {
+		canonical := true
+		for r := 0; r < n && canonical; r++ {
+			rot := (mask>>r | mask<<(n-r)) & (1<<n - 1)
+			if r > 0 && rot < mask {
+				canonical = false
+			}
+			// The reflection v -> -v mod n of the rotated mask.
+			refl := 0
+			for v := 0; v < n; v++ {
+				if rot&(1<<v) != 0 {
+					refl |= 1 << ((n - v) % n)
+				}
+			}
+			if refl < mask {
+				canonical = false
+			}
+		}
+		if !canonical {
+			continue
+		}
+		var homes []int
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				homes = append(homes, v)
+			}
+		}
+		out = append(out, homes)
+	}
+	return out
+}
+
 // ExploreAll model-checks one algorithm over the complete schedule
 // space of every initial configuration (up to rotation) of an n-node
 // ring. It returns one row per placement; the first counterexample or
 // setup error aborts the sweep, because a single failing schedule
 // already refutes the universally quantified claim under test.
-func ExploreAll(alg agentring.Algorithm, n int, opts agentring.ExploreOptions) ([]ExploreRow, error) {
-	return ExploreAllOn(alg, "ring", n, opts)
+func ExploreAll(ctx context.Context, alg agentring.Algorithm, n int, opts agentring.ExploreOptions) ([]ExploreRow, error) {
+	return ExploreAllOn(ctx, alg, "ring", n, opts)
 }
 
 // ExploreAllOn is ExploreAll on an arbitrary substrate, given as an
@@ -60,8 +106,8 @@ func ExploreAll(alg agentring.Algorithm, n int, opts agentring.ExploreOptions) (
 // deduplicated up to rotation of the node numbering, which is sound
 // exactly for the rotation-symmetric substrates (ring, biring); for
 // tori and trees every placement is explored.
-func ExploreAllOn(alg agentring.Algorithm, topology string, n int, opts agentring.ExploreOptions) ([]ExploreRow, error) {
-	return ExploreAllUnderFaults(alg, topology, n, nil, opts)
+func ExploreAllOn(ctx context.Context, alg agentring.Algorithm, topology string, n int, opts agentring.ExploreOptions) ([]ExploreRow, error) {
+	return ExploreAllUnderFaults(ctx, alg, topology, n, nil, opts)
 }
 
 // ExploreAllUnderFaults is ExploreAllOn with a fault schedule attached
@@ -70,16 +116,21 @@ func ExploreAllOn(alg agentring.Algorithm, topology string, n int, opts agentrin
 // schedule breaks the rotation symmetry the ring-family deduplication
 // relies on (the failed edge names a concrete node), so placements are
 // then enumerated exhaustively on every substrate.
-func ExploreAllUnderFaults(alg agentring.Algorithm, topology string, n int, faults []agentring.FaultEvent, opts agentring.ExploreOptions) ([]ExploreRow, error) {
-	return ExploreAllStream(alg, topology, n, faults, opts, nil)
+func ExploreAllUnderFaults(ctx context.Context, alg agentring.Algorithm, topology string, n int, faults []agentring.FaultEvent, opts agentring.ExploreOptions) ([]ExploreRow, error) {
+	return ExploreAllStream(ctx, alg, topology, n, faults, opts, nil)
 }
 
 // ExploreAllStream is ExploreAllUnderFaults with per-placement
 // streaming: each finished row is also handed to emit before the next
 // placement's exploration starts, so a consumer (the explore CLI's
 // NDJSON mode) reports progress on searches that take minutes instead
-// of going silent until the end. nil emit just collects.
-func ExploreAllStream(alg agentring.Algorithm, topology string, n int, faults []agentring.FaultEvent, opts agentring.ExploreOptions, emit func(ExploreRow)) ([]ExploreRow, error) {
+// of going silent until the end. nil emit just collects. Cancelling
+// ctx aborts the sweep mid-search; the rows finished so far are
+// returned alongside the context's error.
+func ExploreAllStream(ctx context.Context, alg agentring.Algorithm, topology string, n int, faults []agentring.FaultEvent, opts agentring.ExploreOptions, emit func(ExploreRow)) ([]ExploreRow, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	topo, err := agentring.ParseTopology(topology, n)
 	if err != nil {
 		return nil, err
@@ -108,7 +159,7 @@ func ExploreAllStream(alg agentring.Algorithm, topology string, n int, faults []
 	}
 	rows := make([]ExploreRow, 0, len(placements))
 	for _, homes := range placements {
-		rep, err := agentring.Explore(alg, agentring.Config{Topology: topo, Homes: homes, Faults: faults}, opts)
+		rep, err := agentring.Explore(ctx, alg, agentring.Config{Topology: topo, Homes: homes, Faults: faults}, opts)
 		if err != nil {
 			return rows, fmt.Errorf("explore %s on %s homes=%v: %w", alg, topo, homes, err)
 		}

@@ -12,33 +12,57 @@
 // the engine's deterministic enabled-choice order). Expanding a node
 // replays the prefix from the initial configuration on a fresh engine
 // under a sim.Controlled scheduler, which stops exactly at the next
-// decision point and reports the enabled set there. The search is a DFS
-// over prefixes with two reductions:
+// decision point and reports the enabled set there. Prefixes are
+// expanded by a pool of work-stealing workers sharing two reductions:
 //
 //   - canonical-state caching: every replayed prefix is hashed into a
 //     canonical state key (sim.Configuration.Key over the visible
 //     configuration plus the per-agent observation-history hashes that
 //     Options.TrackState maintains), and a state already explored at
 //     the same or shallower depth with the same or fewer suppressed
-//     transitions is pruned — converged branches are never re-expanded;
-//   - a sleep-set-style partial-order reduction: two enabled actions
-//     commute when their footprints — the acting node and its full
-//     out-neighbourhood, the only nodes an atomic action can read or
-//     write — are disjoint, and commuting reorderings of
-//     already-explored siblings are skipped.
+//     transitions is pruned — converged branches are never re-expanded.
+//     The cache is sharded by key hash with per-shard locking, so
+//     workers rarely contend;
+//   - a sleep-set-style partial-order reduction: commuting reorderings
+//     of already-explored siblings are skipped, with commutation
+//     decided by the per-directed-edge independence relation below.
 //
-// # Soundness
+// # The parallel frontier
 //
-// The footprint is computed from the Setup's Topology, so the sleep-set
-// reduction stays sound on multi-port graphs (bidirectional rings,
-// tori, trees), not just the unidirectional ring it was first written
-// for: an action at u can push onto *any* out-edge of u, so u and w
-// must never be classified independent when any port links them.
-// TestSleepSetSoundOnMultiPort regression-checks the reduction against
-// a reduction-free reference search; TestReductionConsistency does the
-// same on the ring, and TestExhaustiveCleanAlgorithms proves the
-// paper's algorithms counterexample-free with full coverage on every
-// small-ring placement.
+// Each worker owns a deque of pending prefixes: it pushes and pops at
+// the bottom (depth-first local work, children before uncles, which
+// keeps the frontier small), while idle workers steal from the top of
+// a victim's deque — the shallowest item, the root of the largest
+// pending subtree. With Workers=1 this degenerates to an explicit DFS
+// stack visiting states in exact lexicographic preorder.
+//
+// Parallel visit order is nondeterministic, but the *verdict* is not:
+// the covered state set is order-independent (it is the reachable set,
+// bounded only by the budgets), and when any worker finds a
+// counterexample the search keeps the lexicographically least
+// candidate prefix and then confirms the verdict with a sequential
+// rerun, so the reported counterexample is byte-identical for every
+// worker count (TestCexDeterministicAcrossWorkers). Work-dependent
+// statistics (Pruned, Replays, SleepSkips, Deepest) do vary with the
+// visit order; only the sequential default pins them.
+//
+// # Independence (soundness of the reduction)
+//
+// Two enabled actions are independent when they act at different nodes
+// and neither pops the FIFO of a directed edge whose source is the
+// other's node. An atomic action at v reads and writes node-v state,
+// pops at most one in-edge FIFO of v, and pushes onto at most one
+// out-edge of v; pushes onto distinct FIFOs commute, and a push can
+// never disable an enabled action, so actions satisfying the relation
+// commute on every substrate — unidirectional rings, bidirectional
+// rings, tori, and trees alike. This per-edge relation is strictly
+// finer than the out-neighbourhood footprints it replaced: neighbours
+// acting over links that do not touch each other's node now commute.
+// TestSleepSetSoundOnMultiPort and TestEdgeIndependenceSound
+// regression-check the reduction against reduction-free reference
+// searches; TestReductionConsistency does the same on the ring, and
+// TestExhaustiveCleanAlgorithms proves the paper's algorithms
+// counterexample-free with full coverage on every small-ring placement.
 //
 // # Dynamic topologies (fault schedules)
 //
@@ -48,9 +72,15 @@
 // indexed by atomic-action count (== decision depth), two of the static
 // search's assumptions fail, and the search compensates:
 //
-//   - executing any action may fire a mutation that disables an
-//     otherwise-commuting sibling, so the sleep-set reduction is
-//     unsound and is forced off;
+//   - swapping two adjacent actions is only state-preserving when no
+//     mutation fires between them, so the sleep-set reduction runs
+//     depth-stratified: at any depth where the next action fires a
+//     scheduled fault, children start from empty sleep sets and no
+//     sibling commutation is recorded. Away from those boundary depths
+//     the reduction applies in full — the fault state is then identical
+//     in both interleavings, and frozen-link enabledness is a function
+//     of that shared state. TestFaultReductionConsistency cross-checks
+//     the stratified reduction against reduction-free searches;
 //   - a configuration's future depends on the pending fault suffix,
 //     i.e. on the depth, so cache keys additionally fold the depth and
 //     convergence is only recognized between equal-length prefixes.
@@ -70,5 +100,6 @@
 // reported counterexample, with the full decision schedule that reaches
 // it. A Report with Complete == true and no counterexample is a
 // mechanically checked proof over the entire schedule space of that
-// initial configuration.
+// initial configuration. Budgets (states, depth, wall clock) truncate
+// honestly: the abandoned frontier is counted and Complete is false.
 package explore

@@ -1,12 +1,14 @@
 package explore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"agentring/internal/ring"
 	"agentring/internal/sim"
@@ -22,9 +24,14 @@ const (
 	DefaultMaxStates = 1 << 20
 )
 
+// progressInterval is how often a running search emits Progress
+// snapshots; a variable so tests can tighten it.
+var progressInterval = 200 * time.Millisecond
+
 // Factory builds one fresh set of agent programs per replay. It is
 // called once for every expanded prefix, so it must be cheap and must
 // return programs in the same deterministic initial state every time.
+// It is called concurrently from search workers.
 type Factory func() ([]sim.Program, error)
 
 // Setup fixes the system whose schedule space is explored: a substrate
@@ -42,19 +49,22 @@ type Setup struct {
 	// replay (sim.Options.Faults), so the checker enumerates all agent
 	// interleavings around a fixed failure/repair timeline. Fault steps
 	// are indexed by atomic-action count, which equals the decision
-	// depth, making the schedule a deterministic function of depth — but
-	// that same fact makes two of the static search's assumptions false:
+	// depth, making the schedule a deterministic function of depth — and
+	// that fact reshapes two of the static search's ingredients:
 	//
-	//   - executing any action advances the step count and may fire a
-	//     mutation that disables an otherwise-commuting sibling, so
-	//     action independence (and with it the sleep-set reduction) no
-	//     longer holds; the reduction is forced off when Faults is
-	//     non-empty;
 	//   - a configuration's future depends on the pending fault suffix,
 	//     i.e. on how many actions have executed, not just on the
 	//     visible state; state-cache keys therefore additionally fold
 	//     the depth, so convergence is only recognized between prefixes
-	//     of equal length.
+	//     of equal length;
+	//   - swapping two adjacent actions is only state-preserving when no
+	//     mutation fires between them, so the sleep-set reduction runs
+	//     depth-stratified: at any depth where the next action's step
+	//     count fires a scheduled fault, children start with empty sleep
+	//     sets and no sibling commutation is recorded. Away from those
+	//     boundary depths the reduction applies in full (fault state is
+	//     then identical in both interleavings, and frozen-link
+	//     enabledness is a function of that shared state).
 	Faults sim.FaultSchedule
 	// Property checks a quiescent terminal state, returning "" when it
 	// is acceptable and a human-readable violation otherwise. Nil
@@ -65,7 +75,7 @@ type Setup struct {
 	Property func(res sim.Result) string
 }
 
-// Options bounds the search.
+// Options bounds and tunes the search.
 type Options struct {
 	// MaxDepth bounds the length of a decision prefix; branches at the
 	// bound are truncated (counted, never expanded). Zero selects
@@ -74,9 +84,11 @@ type Options struct {
 	// MaxStates bounds the number of distinct states expanded. Zero
 	// selects DefaultMaxStates.
 	MaxStates int
-	// Workers parallelizes the search across the root's subtrees on a
-	// bounded worker pool. Values <= 1 run sequentially (and make the
-	// reported first counterexample deterministic).
+	// Workers sizes the work-stealing worker pool; values <= 1 run
+	// sequentially. Any worker count yields the same covered state set
+	// and the same reported counterexample (see Explore); parallelism
+	// only changes wall-clock time, and is no longer limited by the
+	// root's branching factor.
 	Workers int
 	// MaxSteps is the per-replay engine step bound (0 = engine
 	// default). Replays that hit it produce a counterexample.
@@ -85,11 +97,45 @@ type Options struct {
 	// move count exceeds it a counterexample — a mechanical check of
 	// the paper's move-complexity bounds along every schedule.
 	MaxTotalMoves int
+	// MaxDuration, if positive, bounds the search's wall-clock time.
+	// Like MaxStates it is a budget, not an error: when it expires the
+	// search stops where it is and reports Complete == false, with the
+	// abandoned frontier counted as truncated branches.
+	MaxDuration time.Duration
 	// DisableReduction turns off the sleep-set reduction, leaving only
 	// canonical-state caching. The reachable state set is identical;
 	// only the work to cover it changes. Used to cross-check the
 	// reduction.
 	DisableReduction bool
+	// Progress, if non-nil, receives periodic snapshots of the running
+	// search (roughly every 200ms, plus one final snapshot as the
+	// search finishes). It is called from a dedicated goroutine,
+	// concurrently with the search, and must be cheap and
+	// concurrency-safe. No snapshots are delivered after Explore
+	// returns.
+	Progress func(Progress)
+
+	// loads, if non-nil, receives the per-worker expanded-item counts
+	// when the search finishes (len = effective worker count) — a test
+	// hook observing how the stealing discipline spread the work.
+	loads *[]int64
+}
+
+// Progress is one live snapshot of a running search.
+type Progress struct {
+	// States is the number of distinct canonical states expanded so far.
+	States int64
+	// Frontier is the number of work items queued or being expanded.
+	Frontier int64
+	// CacheHits counts replays pruned by the canonical-state cache.
+	CacheHits int64
+	// SleepSkips counts transitions suppressed by the reduction.
+	SleepSkips int64
+	// Replays and StepsReplayed measure the search's real cost so far.
+	Replays       int64
+	StepsReplayed int64
+	// Elapsed is the wall-clock time since the search started.
+	Elapsed time.Duration
 }
 
 // Counterexample is a concrete schedule defeating the checked property.
@@ -141,21 +187,39 @@ type Report struct {
 	// DistinctTerminals counts distinct terminal configurations.
 	Terminals         int
 	DistinctTerminals int
-	// Truncated counts branches cut by MaxDepth or MaxStates; Deepest
-	// is the longest prefix expanded.
+	// Truncated counts branches cut by MaxDepth, MaxStates or
+	// MaxDuration; Deepest is the longest prefix expanded.
 	Truncated int
 	Deepest   int
 	// Complete is true when the search covered the entire schedule
-	// space: nothing truncated and no early stop on a counterexample.
+	// space: nothing truncated and no early stop on a counterexample or
+	// an expired budget.
 	Complete bool
 	// Counterexample is the first property violation found, or nil.
 	Counterexample *Counterexample
 }
 
-// Explore runs the bounded model checker and returns its report. An
-// error is returned only for invalid setups; property violations are
-// reported in Report.Counterexample.
-func Explore(setup Setup, opts Options) (Report, error) {
+// Explore runs the bounded model checker and returns its report.
+// Property violations are reported in Report.Counterexample; an error
+// is returned for invalid setups, or when ctx is cancelled mid-search
+// (the partial report accompanies ctx's error).
+//
+// The report is deterministic: any Workers value covers the same state
+// set (States is the size of the reachable set, independent of visit
+// order), and the reported counterexample is identical for every worker
+// count. Parallel searches guarantee the latter with a confirming pass:
+// when workers racing through the space find a violation, the search
+// restarts sequentially — which stops early at the canonical
+// (lexicographically least explored) counterexample — and that report
+// is returned. Violation-free searches, the expensive case that
+// parallelism exists for, pay nothing. If the confirming pass is itself
+// cut short (cancellation, MaxDuration — which restarts for the pass),
+// the parallel run's lexicographically least finding is returned
+// instead, without an error: a genuine violation beats an abort.
+func Explore(ctx context.Context, setup Setup, opts Options) (Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if setup.Programs == nil {
 		return Report{}, fmt.Errorf("%w: nil program factory", ErrSetup)
 	}
@@ -192,56 +256,182 @@ func Explore(setup Setup, opts Options) (Report, error) {
 			return ""
 		}
 	}
-	if len(setup.Faults) > 0 {
-		// See Setup.Faults: step-indexed mutations break action
-		// independence across siblings, so only depth-keyed state
-		// caching remains sound.
-		opts.DisableReduction = true
+	rankSrc, err := sim.RankSources(topo)
+	if err != nil {
+		return Report{}, fmt.Errorf("%w: %v", ErrSetup, err)
 	}
-	x := &explorer{
-		setup:     setup,
-		opts:      opts,
-		fp:        footprints(topo),
-		seen:      make(map[uint64]*cacheEntry),
-		terminals: make(map[uint64]struct{}),
+	boundary := faultBoundaries(setup.Faults)
+
+	rep, err := run(ctx, setup, opts, rankSrc, boundary)
+	if err != nil || rep.Counterexample == nil || opts.Workers <= 1 {
+		return rep, err
 	}
-	if err := x.dfs(nil, nil, opts.Workers > 1); err != nil {
-		return Report{}, err
+	// Deterministic counterexample: rerun sequentially with early stop.
+	seq := opts
+	seq.Workers = 1
+	if srep, serr := run(ctx, setup, seq, rankSrc, boundary); serr == nil && srep.Counterexample != nil {
+		return srep, nil
 	}
-	x.rep.DistinctTerminals = len(x.terminals)
-	x.rep.Counterexample = x.cex
-	x.rep.Complete = x.rep.Truncated == 0 && x.cex == nil
-	return x.rep, nil
+	return rep, nil
 }
 
-// cacheEntry records how a state was last explored: the shallowest
-// depth it was expanded at and the sleep set in force then. A revisit
-// is redundant iff it is no shallower and would explore a subset of the
-// transitions (its sleep set is a superset of the stored one).
-type cacheEntry struct {
-	depth int
-	sleep map[int]sim.Choice
+// faultBoundaries returns the set of step counts at which a scheduled
+// fault fires, i.e. the depths whose preceding action triggers a link
+// mutation. Expanding a node at depth d may stratify on boundary d+1:
+// its children are the actions at position d+1, and swapping a child
+// with a grandchild (positions d+1 and d+2) is exactly the exchange the
+// sleep-set machinery relies on — any event with Step == d+1 fires
+// between them and breaks it.
+func faultBoundaries(faults sim.FaultSchedule) map[int]bool {
+	if len(faults) == 0 {
+		return nil
+	}
+	b := make(map[int]bool, len(faults))
+	for _, e := range faults {
+		b[e.Step] = true
+	}
+	return b
+}
+
+// abort reasons, recorded by the watchdog.
+const (
+	abortNone int32 = iota
+	abortBudget
+	abortCtx
+)
+
+// run executes one search over the work-stealing frontier.
+func run(ctx context.Context, setup Setup, opts Options, rankSrc []int32, boundary map[int]bool) (Report, error) {
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	x := &explorer{
+		setup:    setup,
+		opts:     opts,
+		rankSrc:  rankSrc,
+		boundary: boundary,
+		cache:    newStateCache(),
+		frontier: newFrontier(workers),
+		loads:    make([]atomic.Int64, workers),
+		start:    time.Now(),
+	}
+
+	// Watchdog: a context cancellation or an expired wall-clock budget
+	// stops the frontier; workers then drain within one replay each.
+	watchDone := make(chan struct{})
+	var timerC <-chan time.Time
+	var timer *time.Timer
+	if opts.MaxDuration > 0 {
+		timer = time.NewTimer(opts.MaxDuration)
+		timerC = timer.C
+	}
+	go func() {
+		select {
+		case <-ctx.Done():
+			x.abort.CompareAndSwap(abortNone, abortCtx)
+			x.frontier.requestStop()
+		case <-timerC:
+			x.abort.CompareAndSwap(abortNone, abortBudget)
+			x.frontier.requestStop()
+		case <-watchDone:
+		}
+	}()
+
+	var progExit chan struct{}
+	if opts.Progress != nil {
+		progExit = make(chan struct{})
+		go func() {
+			defer close(progExit)
+			x.progressLoop(watchDone)
+		}()
+	}
+
+	x.frontier.push(0, []item{{}})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			x.work(w)
+		}(w)
+	}
+	wg.Wait()
+	close(watchDone)
+	if timer != nil {
+		timer.Stop()
+	}
+	if progExit != nil {
+		<-progExit
+	}
+	if x.err != nil {
+		return Report{}, x.err
+	}
+
+	rep := Report{
+		States:            int(x.st.states.Load()),
+		Pruned:            int(x.st.pruned.Load()),
+		SleepSkips:        int(x.st.sleepSkips.Load()),
+		Replays:           int(x.st.replays.Load()),
+		StepsReplayed:     x.st.stepsReplayed.Load(),
+		Terminals:         int(x.st.terminals.Load()),
+		DistinctTerminals: int(x.st.distinctTerminals.Load()),
+		Truncated:         int(x.st.truncated.Load()),
+		Deepest:           int(x.st.deepest.Load()),
+		Counterexample:    x.cex,
+	}
+	if opts.loads != nil {
+		loads := make([]int64, workers)
+		for w := range loads {
+			loads[w] = x.loads[w].Load()
+		}
+		*opts.loads = loads
+	}
+	aborted := x.abort.Load()
+	if aborted == abortBudget {
+		// The abandoned frontier is cut search, same as a depth or state
+		// bound; fold it in so the report owns up to the missing work.
+		rep.Truncated += int(x.frontier.pending.Load())
+	}
+	rep.Complete = rep.Truncated == 0 && x.cex == nil && aborted == abortNone
+	if aborted == abortCtx {
+		return rep, ctx.Err()
+	}
+	return rep, nil
 }
 
 type explorer struct {
 	setup Setup
 	opts  Options
-	// fp[v] is the footprint of an atomic action at node v as a node
-	// bitset: v itself plus its whole out-neighbourhood.
-	fp [][]uint64
+	// rankSrc maps an arrival's Choice.Edge rank to the tail node of
+	// that directed edge (sim.RankSources) — the node whose out-link the
+	// arrival pops. Basis of the per-edge independence relation.
+	rankSrc []int32
+	// boundary marks the step counts at which scheduled faults fire;
+	// the reduction stratifies around them (see Setup.Faults).
+	boundary map[int]bool
 
-	mu        sync.Mutex
-	seen      map[uint64]*cacheEntry
-	terminals map[uint64]struct{}
-	rep       Report
-	cex       *Counterexample
-	stop      bool
+	cache    *stateCache
+	frontier *frontier
+	st       stats
+	loads    []atomic.Int64
+	abort    atomic.Int32
+	start    time.Time
+
+	mu  sync.Mutex
+	cex *Counterexample
+	err error
 }
 
-func (x *explorer) stopped() bool {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	return x.stop
+func (x *explorer) work(w int) {
+	for {
+		it, ok := x.frontier.next(w)
+		if !ok {
+			return
+		}
+		x.expand(w, it)
+		x.frontier.finish()
+	}
 }
 
 // replay runs the decision prefix on a fresh engine and returns the
@@ -266,10 +456,8 @@ func (x *explorer) replay(prefix []int) (*sim.Controlled, sim.Result, uint64, er
 	}
 	res, runErr := eng.Run()
 	key := eng.Snapshot().Key()
-	x.mu.Lock()
-	x.rep.Replays++
-	x.rep.StepsReplayed += int64(res.Steps)
-	x.mu.Unlock()
+	x.st.replays.Add(1)
+	x.st.stepsReplayed.Add(int64(res.Steps))
 	if runErr != nil {
 		if errors.Is(runErr, sim.ErrBadSetup) {
 			return nil, res, key, runErr
@@ -283,9 +471,23 @@ func (x *explorer) replay(prefix []int) (*sim.Controlled, sim.Result, uint64, er
 }
 
 // errReported marks replays whose failure was already converted into a
-// counterexample; the DFS just unwinds.
+// counterexample; the worker just moves on.
 var errReported = errors.New("explore: reported")
 
+// fail records the first setup error and stops the search.
+func (x *explorer) fail(err error) {
+	x.mu.Lock()
+	if x.err == nil {
+		x.err = err
+	}
+	x.mu.Unlock()
+	x.frontier.requestStop()
+}
+
+// foundCex records a violation and stops the search. Concurrent finders
+// keep the lexicographically least prefix, so the parallel phase's
+// candidate is already canonical among the violations it happened to
+// reach (Explore's sequential confirming pass pins full determinism).
 func (x *explorer) foundCex(prefix []int, ctrl *sim.Controlled, res sim.Result, reason string) {
 	schedule := make([]sim.Choice, 0, len(prefix))
 	for i, pick := range prefix {
@@ -302,30 +504,31 @@ func (x *explorer) foundCex(prefix []int, ctrl *sim.Controlled, res sim.Result, 
 		Result:    res,
 	}
 	x.mu.Lock()
-	defer x.mu.Unlock()
-	if x.cex == nil {
+	if x.cex == nil || slices.Compare(cex.Prefix, x.cex.Prefix) < 0 {
 		x.cex = cex
-		x.stop = true
 	}
+	x.mu.Unlock()
+	x.frontier.requestStop()
 }
 
-// dfs expands the state the prefix leads to. sleep maps agent id to the
-// suppressed choice of that agent (an agent has at most one enabled
-// choice, so agent id identifies it). When parallel is set, the
-// children of this node are distributed over a worker pool instead of
-// being expanded recursively.
-func (x *explorer) dfs(prefix []int, sleep map[int]sim.Choice, parallel bool) error {
-	if x.stopped() {
-		return nil
+// expand replays one prefix and, when the reached state is new work,
+// pushes its children onto the expanding worker's deque — in reverse
+// index order, so the owner pops them lexicographically.
+func (x *explorer) expand(w int, it item) {
+	if x.frontier.stopped() {
+		return
 	}
-	ctrl, res, key, err := x.replay(prefix)
+	x.loads[w].Add(1)
+	ctrl, res, key, err := x.replay(it.prefix)
 	switch {
 	case errors.Is(err, errReported):
-		return nil
+		return
 	case err != nil:
-		return err
+		x.fail(err)
+		return
 	}
-	depth := len(prefix)
+	depth := len(it.prefix)
+	x.st.observeDepth(depth)
 	if len(x.setup.Faults) > 0 {
 		// With faults, the pending mutation suffix is a function of the
 		// depth; fold it into the key so only equal-length prefixes can
@@ -337,81 +540,43 @@ func (x *explorer) dfs(prefix []int, sleep map[int]sim.Choice, parallel bool) er
 	// (excluded from the state key), so the check must see every replayed
 	// state — including quiescent terminals and pruned revisits.
 	if x.opts.MaxTotalMoves > 0 && res.TotalMoves > x.opts.MaxTotalMoves {
-		x.foundCex(prefix, ctrl, res,
+		x.foundCex(it.prefix, ctrl, res,
 			fmt.Sprintf("total moves %d exceed bound %d", res.TotalMoves, x.opts.MaxTotalMoves))
-		return nil
+		return
 	}
 
-	x.mu.Lock()
-	if depth > x.rep.Deepest {
-		x.rep.Deepest = depth
-	}
-	entry, ok := x.seen[key]
-	if ok && entry.depth <= depth && subsetOf(entry.sleep, sleep) {
-		x.rep.Pruned++
-		if res.Quiesced {
-			x.rep.Terminals++
-		}
-		x.mu.Unlock()
-		return nil
-	}
-	if !ok {
-		if x.rep.States >= x.opts.MaxStates {
-			x.rep.Truncated++
-			x.mu.Unlock()
-			return nil
-		}
-		x.rep.States++
-		x.seen[key] = &cacheEntry{depth: depth, sleep: cloneSleep(sleep)}
-	} else {
-		// Seen before, but this visit is shallower or suppresses fewer
-		// transitions: re-explore the union by intersecting sleep sets.
-		sleep = intersectSleep(sleep, entry.sleep)
-		entry.sleep = cloneSleep(sleep)
-		if depth < entry.depth {
-			entry.depth = depth
-		}
+	outcome, sleep, firstTerminal := x.cache.visit(key, depth, it.sleep, res.Quiesced, int64(x.opts.MaxStates), &x.st)
+	if outcome != visitExpand {
+		return
 	}
 	if res.Quiesced {
-		x.rep.Terminals++
-		first := !ok
-		if first {
-			x.terminals[key] = struct{}{}
-		}
-		x.mu.Unlock()
-		if first {
+		if firstTerminal {
 			if why := x.setup.Property(res); why != "" {
-				x.foundCex(prefix, ctrl, res, why)
+				x.foundCex(it.prefix, ctrl, res, why)
 			}
 		}
-		return nil
+		return
 	}
-	x.mu.Unlock()
-
 	if depth >= x.opts.MaxDepth {
-		x.mu.Lock()
-		x.rep.Truncated++
-		x.mu.Unlock()
-		return nil
+		x.st.truncated.Add(1)
+		return
 	}
 
-	enabled := ctrl.Record[len(prefix)]
-	type task struct {
-		prefix []int
-		sleep  map[int]sim.Choice
-	}
-	var tasks []task
+	enabled := ctrl.Record[depth]
+	// At a fault boundary the children's executions fire a mutation, so
+	// no commutation across it may be recorded; inherited suppressions
+	// still apply (their exchanges happened at shallower, checked
+	// depths), but children start from empty sleep sets.
+	boundary := x.boundary[depth+1]
+	children := make([]item, 0, len(enabled))
 	var explored []sim.Choice
-	var firstErr error
 	for i, c := range enabled {
 		if _, suppressed := sleep[c.Agent]; suppressed {
-			x.mu.Lock()
-			x.rep.SleepSkips++
-			x.mu.Unlock()
+			x.st.sleepSkips.Add(1)
 			continue
 		}
 		var childSleep map[int]sim.Choice
-		if !x.opts.DisableReduction {
+		if !x.opts.DisableReduction && !boundary {
 			// The child inherits every suppressed or already-explored
 			// sibling that commutes with c: executing it before or
 			// after c reaches the same state, and the other order is
@@ -427,49 +592,43 @@ func (x *explorer) dfs(prefix []int, sleep map[int]sim.Choice, parallel bool) er
 				}
 			}
 		}
-		if parallel {
-			tasks = append(tasks, task{
-				prefix: append(slices.Clip(slices.Clone(prefix)), i),
-				sleep:  childSleep,
-			})
-		} else {
-			if err := x.dfs(append(prefix, i), childSleep, false); err != nil && firstErr == nil {
-				firstErr = err
-			}
-			if x.stopped() {
-				break
-			}
-		}
+		prefix := make([]int, len(it.prefix)+1)
+		copy(prefix, it.prefix)
+		prefix[len(it.prefix)] = i
+		children = append(children, item{prefix: prefix, sleep: childSleep})
 		explored = append(explored, c)
 	}
-	if parallel && firstErr == nil {
-		workers := min(x.opts.Workers, len(tasks))
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		errs := make([]error, workers)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(tasks) || x.stopped() {
-						return
-					}
-					if err := x.dfs(tasks[i].prefix, tasks[i].sleep, false); err != nil && errs[w] == nil {
-						errs[w] = err
-					}
-				}
-			}(w)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
+	slices.Reverse(children)
+	x.frontier.push(w, children)
+}
+
+// snapshot assembles one Progress from the live counters.
+func (x *explorer) snapshot() Progress {
+	return Progress{
+		States:        x.st.states.Load(),
+		Frontier:      x.frontier.pending.Load(),
+		CacheHits:     x.st.pruned.Load(),
+		SleepSkips:    x.st.sleepSkips.Load(),
+		Replays:       x.st.replays.Load(),
+		StepsReplayed: x.st.stepsReplayed.Load(),
+		Elapsed:       time.Since(x.start),
+	}
+}
+
+// progressLoop emits snapshots until done closes, then emits one final
+// snapshot so every search delivers at least one.
+func (x *explorer) progressLoop(done <-chan struct{}) {
+	t := time.NewTicker(progressInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			x.opts.Progress(x.snapshot())
+			return
+		case <-t.C:
+			x.opts.Progress(x.snapshot())
 		}
 	}
-	return firstErr
 }
 
 // mix64 finalizes a 64-bit value with the splitmix64 avalanche, used to
@@ -483,47 +642,50 @@ func mix64(v uint64) uint64 {
 	return v
 }
 
-// footprints precomputes, for every node v, the bitset {v} ∪ outN(v).
-func footprints(t sim.Topology) [][]uint64 {
-	n := t.Size()
-	words := (n + 63) / 64
-	fp := make([][]uint64, n)
-	for v := 0; v < n; v++ {
-		bits := make([]uint64, words)
-		bits[v/64] |= 1 << (v % 64)
-		for p := 0; p < t.Degree(ring.NodeID(v)); p++ {
-			w := int(t.Neighbor(ring.NodeID(v), p))
-			bits[w/64] |= 1 << (w % 64)
-		}
-		fp[v] = bits
-	}
-	return fp
-}
-
-// independent reports whether two enabled atomic actions commute. An
-// action reads and writes only its footprint — the node it happens at
-// (queue pops toward it, tokens, staying set, mailboxes of co-located
-// agents) and that node's *entire out-neighbourhood* (the queue pushed
-// if the agent moves, via whichever port its program picks) — so
-// disjoint footprints imply the actions neither disable each other nor
-// distinguish their execution orders.
+// independent reports whether two enabled atomic actions commute, using
+// the engine's per-directed-edge FIFO structure. An atomic action at
+// node v reads and writes exactly:
 //
-// The out-neighbourhood generalization is what keeps the sleep-set
-// reduction sound beyond the unidirectional ring: on a multi-port
-// topology an action at u can push onto *any* edge (u -> w), and a
-// conflicting action at w pops or pushes queues toward w, so u and w
-// must never be classified independent when any port links them. The
-// original {node, next(node)} footprint would wrongly commute, e.g.,
-// actions at the two endpoints of a bidirectional ring's backward
-// link, silently losing interleavings (and with them, potential
-// counterexamples). TestSleepSetSoundOnMultiPort regression-checks
-// this against a reduction-free reference search.
+//   - node v's local state: tokens, the staying set, the whiteboard,
+//     and the mailboxes of co-located agents (in-transit messages on
+//     links toward v are invisible until popped);
+//   - for an arrival, the head of the one link FIFO it pops — the edge
+//     src -> v named by the choice's rank (home-buffer deliveries pop a
+//     per-node buffer, which is node-v-local state);
+//   - at most one out-link FIFO tail v -> w, if the program moves the
+//     agent (which port it picks is a function of node-v state alone).
+//
+// Two actions a at node va and b at node vb therefore conflict only
+// when they share one of those locations: the same node (va == vb,
+// covering node state, both popping queues toward the same node, and
+// both pushing out-links of the same node), or one's popped in-edge
+// sourced at the other's node (a pop of src->va meets a potential push
+// of vb->* exactly when src == vb, and symmetrically). Pushes onto
+// *distinct* FIFOs commute outright — a tail insertion neither observes
+// nor shifts another queue — and a push cannot disable any enabled
+// action, so disjointness in this relation implies both orders execute
+// and reach the same state.
+//
+// This is strictly finer than the previous footprint test ({v} ∪
+// out-neighbourhood node bitsets): on a bidirectional ring, an action
+// at u and an action at its neighbor v now commute unless one of them
+// pops the very link joining them, roughly halving the conflict degree;
+// on the unidirectional ring the two relations coincide (every arrival
+// at v pops the unique link from v's predecessor). The multi-port
+// lesson that forced the out-neighbourhood widening in the first place
+// — u pushing onto u->w must conflict with w popping that same link —
+// is preserved by the source clauses, and
+// TestSleepSetSoundOnMultiPort/TestEdgeIndependenceSound regression-
+// check the relation against a reduction-free reference search.
 func (x *explorer) independent(a, b sim.Choice) bool {
-	fa, fb := x.fp[a.Node], x.fp[b.Node]
-	for i, w := range fa {
-		if w&fb[i] != 0 {
-			return false
-		}
+	if a.Node == b.Node {
+		return false
+	}
+	if a.Edge >= 0 && ring.NodeID(x.rankSrc[a.Edge]) == b.Node {
+		return false
+	}
+	if b.Edge >= 0 && ring.NodeID(x.rankSrc[b.Edge]) == a.Node {
+		return false
 	}
 	return true
 }

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -88,7 +89,7 @@ func TestExhaustiveCleanAlgorithms(t *testing.T) {
 			var states, terminals int
 			for n := 1; n <= maxN; n++ {
 				for _, homes := range subsets(n) {
-					rep, err := Explore(Setup{N: n, Homes: homes, Programs: alg.factory(len(homes))}, Options{})
+					rep, err := Explore(context.Background(), Setup{N: n, Homes: homes, Programs: alg.factory(len(homes))}, Options{})
 					if err != nil {
 						t.Fatalf("n=%d homes=%v: %v", n, homes, err)
 					}
@@ -122,7 +123,7 @@ func TestNaiveHaltingTheorem5(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Explore(Setup{N: n, Homes: homes, Programs: naiveFactory(len(homes))}, Options{})
+	rep, err := Explore(context.Background(), Setup{N: n, Homes: homes, Programs: naiveFactory(len(homes))}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,12 +179,12 @@ func TestReductionConsistency(t *testing.T) {
 		{0, 1, 4},
 	} {
 		const n = 5
-		base, err := Explore(Setup{N: n, Homes: homes, Programs: alg2Factory(len(homes))},
+		base, err := Explore(context.Background(), Setup{N: n, Homes: homes, Programs: alg2Factory(len(homes))},
 			Options{DisableReduction: true})
 		if err != nil {
 			t.Fatal(err)
 		}
-		red, err := Explore(Setup{N: n, Homes: homes, Programs: alg2Factory(len(homes))}, Options{})
+		red, err := Explore(context.Background(), Setup{N: n, Homes: homes, Programs: alg2Factory(len(homes))}, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -202,11 +203,11 @@ func TestReductionConsistency(t *testing.T) {
 func TestParallelWorkersCoverage(t *testing.T) {
 	homes := []ring.NodeID{0, 2, 4}
 	const n = 6
-	seq, err := Explore(Setup{N: n, Homes: homes, Programs: alg1Factory(len(homes))}, Options{})
+	seq, err := Explore(context.Background(), Setup{N: n, Homes: homes, Programs: alg1Factory(len(homes))}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Explore(Setup{N: n, Homes: homes, Programs: alg1Factory(len(homes))}, Options{Workers: 4})
+	par, err := Explore(context.Background(), Setup{N: n, Homes: homes, Programs: alg1Factory(len(homes))}, Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +224,7 @@ func TestParallelWorkersCoverage(t *testing.T) {
 // mislabeling unfinished branches.
 func TestDepthTruncation(t *testing.T) {
 	homes := []ring.NodeID{0, 3}
-	rep, err := Explore(Setup{N: 6, Homes: homes, Programs: alg1Factory(2)}, Options{MaxDepth: 3})
+	rep, err := Explore(context.Background(), Setup{N: 6, Homes: homes, Programs: alg1Factory(2)}, Options{MaxDepth: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestDepthTruncation(t *testing.T) {
 // surfaces as a counterexample with a concrete schedule.
 func TestMoveBoundCounterexample(t *testing.T) {
 	homes := []ring.NodeID{0, 3}
-	rep, err := Explore(Setup{N: 6, Homes: homes, Programs: alg1Factory(2)}, Options{MaxTotalMoves: 2})
+	rep, err := Explore(context.Background(), Setup{N: 6, Homes: homes, Programs: alg1Factory(2)}, Options{MaxTotalMoves: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,13 +258,13 @@ func TestMoveBoundCounterexample(t *testing.T) {
 // TestExploreSetupErrors checks setup validation surfaces as errors,
 // not counterexamples.
 func TestExploreSetupErrors(t *testing.T) {
-	if _, err := Explore(Setup{N: 4, Homes: []ring.NodeID{0}}, Options{}); err == nil {
+	if _, err := Explore(context.Background(), Setup{N: 4, Homes: []ring.NodeID{0}}, Options{}); err == nil {
 		t.Fatal("nil factory accepted")
 	}
-	if _, err := Explore(Setup{N: 0, Homes: []ring.NodeID{0}, Programs: alg1Factory(1)}, Options{}); err == nil {
+	if _, err := Explore(context.Background(), Setup{N: 0, Homes: []ring.NodeID{0}, Programs: alg1Factory(1)}, Options{}); err == nil {
 		t.Fatal("zero-node ring accepted")
 	}
-	if _, err := Explore(Setup{N: 4, Homes: []ring.NodeID{0, 0}, Programs: alg1Factory(2)}, Options{}); err == nil {
+	if _, err := Explore(context.Background(), Setup{N: 4, Homes: []ring.NodeID{0, 0}, Programs: alg1Factory(2)}, Options{}); err == nil {
 		t.Fatal("duplicate homes accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -23,7 +24,7 @@ func searchBoth(t *testing.T, setup Setup, opts Options) (with, without raceResu
 	run := func(disable bool) raceResult {
 		o := opts
 		o.DisableReduction = disable
-		rep, err := Explore(setup, o)
+		rep, err := Explore(context.Background(), setup, o)
 		if err != nil {
 			t.Fatalf("Explore(disable=%v): %v", disable, err)
 		}
@@ -152,7 +153,7 @@ func TestSleepSetSoundOnMultiPort(t *testing.T) {
 				finals[int(res.Positions()[0])] = true
 				return ""
 			}
-			if _, err := Explore(probe, Options{DisableReduction: true}); err != nil {
+			if _, err := Explore(context.Background(), probe, Options{DisableReduction: true}); err != nil {
 				t.Fatal(err)
 			}
 			for node := range finals {

@@ -89,6 +89,10 @@ type Event struct {
 	JobID string    `json:"job_id,omitempty"`
 	// Trace carries the execution event when Type == "trace".
 	Trace *agentring.TraceEvent `json:"trace,omitempty"`
+	// Explore carries live explorer counters on the "progress" events an
+	// explore job streams while its search runs (run/sweep progress
+	// events carry only the Job snapshot's done counter).
+	Explore *agentring.ExploreProgress `json:"explore,omitempty"`
 }
 
 // job is the engine-internal record; all fields are guarded by the
@@ -572,8 +576,21 @@ func (e *Engine) execute(j *job, ctx context.Context) (*Result, string) {
 		if ctx.Err() != nil {
 			return nil, ""
 		}
-		rep, err := agentring.Explore(j.comp.alg, *j.comp.explore, j.comp.opts)
+		// The job context flows into the search, so Cancel interrupts an
+		// exploration mid-flight, and live explorer counters stream to
+		// the bus as "progress" events. Search parallelism comes from the
+		// spec (not e.opts.Workers): the spec is what Execute sees too,
+		// which keeps the daemon-vs-direct byte-identity guarantee
+		// independent of how either process sized its pool.
+		xopts := j.comp.opts
+		xopts.Progress = func(p agentring.ExploreProgress) {
+			e.publish(Event{Type: "progress", JobID: j.id, Explore: &p})
+		}
+		rep, err := agentring.Explore(ctx, j.comp.alg, *j.comp.explore, xopts)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ""
+			}
 			return nil, err.Error()
 		}
 		e.noteProgress(j)
@@ -600,9 +617,8 @@ func (e *Engine) execute(j *job, ctx context.Context) (*Result, string) {
 		}
 	}
 
-	results := agentring.RunBatch(cells, agentring.BatchOptions{
+	results := agentring.RunBatch(ctx, cells, agentring.BatchOptions{
 		Workers: e.opts.Workers,
-		Context: ctx,
 		OnResult: func(i int, r agentring.JobResult) {
 			e.noteProgress(j)
 		},
@@ -650,13 +666,13 @@ func Execute(spec Spec, workers int) (Result, error) {
 		return Result{}, err
 	}
 	if comp.explore != nil {
-		rep, err := agentring.Explore(comp.alg, *comp.explore, comp.opts)
+		rep, err := agentring.Explore(context.Background(), comp.alg, *comp.explore, comp.opts)
 		if err != nil {
 			return Result{}, err
 		}
 		return Result{Kind: spec.Kind, Explore: &rep}, nil
 	}
-	results := agentring.RunBatch(comp.cells, agentring.BatchOptions{Workers: workers})
+	results := agentring.RunBatch(context.Background(), comp.cells, agentring.BatchOptions{Workers: workers})
 	out := Result{Kind: spec.Kind, Cells: make([]CellResult, len(results))}
 	for i, r := range results {
 		out.Cells[i] = cellResult(i, r)

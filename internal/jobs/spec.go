@@ -3,6 +3,7 @@ package jobs
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"agentring"
 	"agentring/internal/experiments"
@@ -22,8 +23,10 @@ const (
 	// one cell per grid point, batched over the worker pool.
 	KindSweep Kind = "sweep"
 	// KindExplore model-checks one configuration's schedule space
-	// (agentring.Explore). Explorations are single-cell and, unlike
-	// run/sweep cells, not interruptible mid-search.
+	// (agentring.Explore). Explorations are single-cell; the job context
+	// reaches into the search, so job.cancel interrupts an exploration
+	// mid-flight (within roughly one replay per worker), and the search
+	// streams "progress" events carrying live explorer counters.
 	KindExplore Kind = "explore"
 )
 
@@ -53,9 +56,19 @@ type Spec struct {
 	Ns []int `json:"ns,omitempty"`
 	Ks []int `json:"ks,omitempty"`
 	// Explore bounds (KindExplore only); zero selects the defaults.
+	// MaxDurationMS is a wall-clock budget in milliseconds: expiring it
+	// truncates the search (complete=false), it does not fail the job.
 	MaxDepth      int `json:"max_depth,omitempty"`
 	MaxStates     int `json:"max_states,omitempty"`
 	MaxTotalMoves int `json:"max_total_moves,omitempty"`
+	MaxDurationMS int `json:"max_duration_ms,omitempty"`
+	// Workers sizes the explorer's work-stealing pool (KindExplore
+	// only; run/sweep parallelism is the engine's worker pool). The
+	// covered state set and any counterexample are identical for every
+	// value — but effort diagnostics (pruned, replays, sleep_skips,
+	// deepest) are visit-order dependent and so only reproducible
+	// run-to-run at the default of sequential search.
+	Workers int `json:"workers,omitempty"`
 	// Priority orders the queue: higher runs earlier, FIFO within a
 	// priority.
 	Priority int `json:"priority,omitempty"`
@@ -204,9 +217,13 @@ func (s Spec) compile() (compiled, error) {
 			return compiled{}, err
 		}
 		return compiled{alg: alg, explore: &cfg, opts: agentring.ExploreOptions{
-			MaxDepth:      s.MaxDepth,
-			MaxStates:     s.MaxStates,
-			MaxTotalMoves: s.MaxTotalMoves,
+			Budget: agentring.Budget{
+				MaxDepth:      s.MaxDepth,
+				MaxStates:     s.MaxStates,
+				MaxTotalMoves: s.MaxTotalMoves,
+				MaxDuration:   time.Duration(s.MaxDurationMS) * time.Millisecond,
+			},
+			Workers: s.Workers,
 		}}, nil
 	default:
 		return compiled{}, fmt.Errorf("%w: unknown kind %q", ErrSpec, s.Kind)

@@ -117,6 +117,28 @@ func buildEdgeTable(t Topology) (*edgeTable, error) {
 	return et, nil
 }
 
+// RankSources returns, for every arrival rank, the tail node of that
+// directed edge, in exactly the flattening an Engine of t uses. An
+// arrival Choice identifies the link FIFO it pops by rank (Choice.Edge),
+// so sources[c.Edge] is the node whose out-link the arrival drains,
+// while the acting node itself is c.Node. Replay-driven tools use this
+// to reason about which queues an atomic action can touch — the
+// schedule explorer's per-directed-edge independence relation is built
+// on it — without re-deriving the engine's edge numbering.
+func RankSources(t Topology) ([]int32, error) {
+	et, err := buildEdgeTable(t)
+	if err != nil {
+		return nil, err
+	}
+	sources := make([]int32, et.edges())
+	for v := 0; v < et.n; v++ {
+		for e := et.start[v]; e < et.start[v+1]; e++ {
+			sources[et.rank[e]] = int32(v)
+		}
+	}
+	return sources, nil
+}
+
 // edges returns the number of directed edges.
 func (et *edgeTable) edges() int { return len(et.dest) }
 

@@ -1,6 +1,7 @@
 package agentring_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -133,7 +134,7 @@ func TestExploreBiNativeExhaustiveSmallRings(t *testing.T) {
 		t.Skip("exhaustive search")
 	}
 	for n := 1; n <= 5; n++ {
-		rows, err := experiments.ExploreAllOn(agentring.BiNative, "biring", n, agentring.ExploreOptions{})
+		rows, err := experiments.ExploreAllOn(context.Background(), agentring.BiNative, "biring", n, agentring.ExploreOptions{})
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -153,7 +154,7 @@ func TestExploreTopologyEcho(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := agentring.Explore(agentring.BiNative, agentring.Config{Topology: topo, Homes: []int{0, 2}}, agentring.ExploreOptions{})
+	rep, err := agentring.Explore(context.Background(), agentring.BiNative, agentring.Config{Topology: topo, Homes: []int{0, 2}}, agentring.ExploreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
