@@ -7,6 +7,7 @@ package agentring_test
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"agentring"
@@ -364,30 +365,61 @@ func BenchmarkEngineThroughput(b *testing.B) {
 
 // BenchmarkExploreParallel measures the model checker's throughput on
 // a fixed heavy placement (native algorithm, n=8, four clustered
-// agents: 1693 states) across worker-pool sizes. ns/state is the
-// benchdiff-gated metric (lower is better); states/sec is the
-// human-facing rate. Speedup over workers=1 tracks the machine's core
-// count — the work-stealing frontier can only parallelize what the
-// scheduler has processors for.
+// agents: 1693 states) across worker-pool sizes, plus one deeper n=7
+// five-agent placement where schedules run long enough that the
+// checkpoint search's O(stride)-per-state cost separates clearly from
+// the old O(depth) replay-from-root. Three metrics feed the benchdiff
+// gate: ns/state and allocs/state (lower is better — allocs/state is
+// what keeps the pooled checkpoints honest), and speedup over the
+// workers=1 rate of the same sub-benchmark run (higher is better, so
+// flat parallel scaling trips the gate rather than hiding behind an
+// unchanged ns/state). states/sec stays the human-facing rate; the
+// speedup a machine can show is of course bounded by the cores the
+// scheduler actually has.
 func BenchmarkExploreParallel(b *testing.B) {
-	cfg := agentring.Config{N: 8, Homes: []int{0, 1, 2, 3}}
-	for _, workers := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			var rep agentring.ExploreReport
-			for i := 0; i < b.N; i++ {
-				r, err := agentring.Explore(context.Background(), agentring.Native, cfg,
-					agentring.ExploreOptions{Workers: workers})
-				if err != nil {
-					b.Fatal(err)
+	cases := []struct {
+		name string
+		cfg  agentring.Config
+	}{
+		{"n8", agentring.Config{N: 8, Homes: []int{0, 1, 2, 3}}},
+		{"deep-n7", agentring.Config{N: 7, Homes: []int{0, 1, 2, 3, 4}}},
+	}
+	for _, tc := range cases {
+		// The workers=1 rate of the most recent sequential run, the
+		// denominator of the speedup metric. Sub-benchmarks run in
+		// order, so it is always set before the parallel ones read it.
+		var baseRate float64
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", tc.name, workers), func(b *testing.B) {
+				var rep agentring.ExploreReport
+				var ms0, ms1 runtime.MemStats
+				runtime.ReadMemStats(&ms0)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r, err := agentring.Explore(context.Background(), agentring.Native, tc.cfg,
+						agentring.ExploreOptions{Workers: workers})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !r.Complete || r.Counterexample != nil {
+						b.Fatalf("bad search: %+v", r)
+					}
+					rep = r
 				}
-				if !r.Complete || r.Counterexample != nil {
-					b.Fatalf("bad search: %+v", r)
+				b.StopTimer()
+				runtime.ReadMemStats(&ms1)
+				states := float64(rep.States) * float64(b.N)
+				rate := states / b.Elapsed().Seconds()
+				b.ReportMetric(rate, "states/sec")
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/states, "ns/state")
+				b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/states, "allocs/state")
+				if workers == 1 {
+					baseRate = rate
 				}
-				rep = r
-			}
-			states := float64(rep.States) * float64(b.N)
-			b.ReportMetric(states/b.Elapsed().Seconds(), "states/sec")
-			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/states, "ns/state")
-		})
+				if baseRate > 0 {
+					b.ReportMetric(rate/baseRate, "speedup")
+				}
+			})
+		}
 	}
 }

@@ -19,6 +19,13 @@
 //	    benchmarks never fail. -metric NAME restricts the gate to a
 //	    single metric.
 //
+//	    Most metrics are costs (lower is better). Rate and ratio
+//	    metrics — states/sec, runs/sec, speedup — are the opposite: for
+//	    those, a regression is the value *falling* more than
+//	    -max-regress percent below the baseline, so a collapse in
+//	    parallel scaling trips the gate even when per-state cost is
+//	    unchanged.
+//
 // The committed BENCH_baseline.json is refreshed by running the same
 // two commands locally (see README) whenever a PR intentionally changes
 // engine performance.
@@ -100,6 +107,16 @@ func parseMode(path string, out io.Writer) error {
 // procSuffix matches the trailing -GOMAXPROCS tag Go appends to
 // benchmark names.
 var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// higherBetter marks the metrics where larger values are improvements:
+// throughput rates and scaling ratios. Everything else is treated as a
+// cost. Keyed by exact metric unit as reported by the benchmarks.
+var higherBetter = map[string]bool{
+	"states/sec": true,
+	"steps/sec":  true,
+	"runs/sec":   true,
+	"speedup":    true,
+}
 
 // ParseBenchOutput extracts benchmark result lines from `go test
 // -bench` output. Repeated runs of the same benchmark (-count) are
@@ -215,8 +232,14 @@ func compareMode(basePath, curPath string, metrics []string, maxRegress float64,
 				// allocation-free loop) is an unbounded regression.
 				delta = math.Inf(1)
 			}
+			// For cost metrics growth is the regression; for rates and
+			// ratios it is shrinkage.
+			worsened := delta
+			if higherBetter[metric] {
+				worsened = -delta
+			}
 			verdict := ""
-			if delta > maxRegress {
+			if worsened > maxRegress {
 				verdict = "  REGRESSION"
 				failures = append(failures,
 					fmt.Sprintf("%s: %s %.2f -> %.2f (%+.1f%% > %.1f%%)", name, metric, bv, cv, delta, maxRegress))

@@ -101,6 +101,28 @@ func TestCompareFailsOnGrowthFromZeroBaseline(t *testing.T) {
 	}
 }
 
+func TestCompareHigherIsBetterMetrics(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSONFile(t, dir, "base.json", []Bench{
+		{Name: "B/a", Metrics: map[string]float64{"speedup": 4.0}},
+		{Name: "B/b", Metrics: map[string]float64{"speedup": 4.0}},
+	})
+	cur := writeJSONFile(t, dir, "cur.json", []Bench{
+		// A rate metric collapsing is the regression; one rising far
+		// past the threshold is just an improvement.
+		{Name: "B/a", Metrics: map[string]float64{"speedup": 1.1}},
+		{Name: "B/b", Metrics: map[string]float64{"speedup": 9.0}},
+	})
+	var out bytes.Buffer
+	err := run([]string{"-baseline", base, "-current", cur, "-metric", "speedup"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "B/a") {
+		t.Fatalf("collapsed speedup must fail the gate: err = %v\n%s", err, out.String())
+	}
+	if strings.Contains(err.Error(), "B/b") {
+		t.Fatalf("improved speedup wrongly flagged: %v", err)
+	}
+}
+
 func TestCompareFailsOnMissingBenchmark(t *testing.T) {
 	dir := t.TempDir()
 	base := writeJSONFile(t, dir, "base.json", []Bench{

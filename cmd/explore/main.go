@@ -33,6 +33,9 @@
 // "STEP:FROM[/PORT]:down|up,..." schedule) to every exploration: the
 // checker then enumerates all agent interleavings around that timeline.
 //
+// -cpuprofile/-memprofile write pprof profiles of the search (same
+// flags as sweep), keeping the checkpoint-mode hot path profileable.
+//
 // The process exits non-zero when any exploration finds a
 // counterexample, so CI scripting can rely on the exit code.
 package main
@@ -45,6 +48,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -81,9 +86,36 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		moves    = fs.Int("moves", 0, "total-move bound; exceeding it is a counterexample (0 = off)")
 		duration = fs.Duration("duration", 0, "wall-clock budget per exploration; expiring truncates the search (0 = off)")
 		jsonFlag = fs.Bool("json", false, "emit the report(s) as JSON (NDJSON stream with -all; includes progress rows)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the search to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile (taken after the search) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "explore: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // profile live objects, not construction garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "explore: memprofile:", err)
+			}
+		}()
 	}
 	alg, err := parseAlg(*algName)
 	if err != nil {

@@ -192,3 +192,109 @@ func TestFrameCoroutineCrossCheckFaults(t *testing.T) {
 		}
 	}
 }
+
+// driveStepwise advances an engine through the step-driven control
+// surface (the explorer's interface) with a fixed deterministic pick
+// rule, optionally forcing a Checkpoint/Restore round-trip before every
+// decision — with every third round-trip resuming into a brand-new
+// engine built by fresh. It returns the engine that holds the final
+// state.
+func driveStepwise(t *testing.T, e *sim.Engine, fresh func() *sim.Engine, roundTrip bool) *sim.Engine {
+	t.Helper()
+	cp := &sim.Checkpoint{}
+	for decision := 0; ; decision++ {
+		if roundTrip {
+			if err := e.CheckpointTo(cp); err != nil {
+				t.Fatalf("decision %d: CheckpointTo: %v", decision, err)
+			}
+			if decision%3 == 2 {
+				e = fresh()
+			}
+			if err := e.Restore(cp); err != nil {
+				t.Fatalf("decision %d: Restore: %v", decision, err)
+			}
+		}
+		cs := e.DecisionPoint()
+		if len(cs) == 0 {
+			return e
+		}
+		if e.Steps() >= e.StepLimit() {
+			t.Fatalf("step limit hit at decision %d", decision)
+		}
+		if err := e.ApplyChoice(cs[(decision*7+3)%len(cs)]); err != nil {
+			t.Fatalf("decision %d: ApplyChoice: %v", decision, err)
+		}
+	}
+}
+
+// TestCheckpointRestoreCrossCheck holds the checkpoint layer to the
+// frame/coroutine equivalence on the production algorithms: for every
+// frame-capable algorithm on the golden configuration (plus binative on
+// the bidirectional ring), a step-driven run that round-trips through
+// Checkpoint/Restore at every decision — periodically abandoning the
+// engine for a fresh one resumed from the checkpoint — must finish in
+// exactly the configuration the uninterrupted coroutine reference
+// reaches. This is the whole-algorithm version of the lockstep check in
+// internal/sim (TestFrameCoroutineCheckpointCrossCheck) and the ground
+// the explorer's checkpoint mode stands on.
+func TestCheckpointRestoreCrossCheck(t *testing.T) {
+	cases := []struct {
+		alg string
+		top func() sim.Topology
+	}{
+		{"native", func() sim.Topology { return ring.MustNew(crosscheckN) }},
+		{"nativeKnowN", func() sim.Topology { return ring.MustNew(crosscheckN) }},
+		{"naive", func() sim.Topology { return ring.MustNew(crosscheckN) }},
+		{"firstfit", func() sim.Topology { return ring.MustNew(crosscheckN) }},
+		{"binative", func() sim.Topology {
+			bi, err := topo.NewBiRing(crosscheckN)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return bi
+		}},
+	}
+	faults := sim.FaultSchedule{
+		{Step: 10, From: 18, Port: 0, Up: false},
+		{Step: 90, From: 18, Port: 0, Up: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.alg, func(t *testing.T) {
+			top := tc.top()
+			n, k := top.Size(), len(crosscheckHomes)
+			mk := func(force bool) *sim.Engine {
+				e, err := sim.NewEngine(top, crosscheckHomes, crosscheckPrograms(t, tc.alg, n, k), sim.Options{
+					TrackState:     true,
+					Faults:         faults,
+					ForceCoroutine: force,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return e
+			}
+			cpd := mk(false)
+			if !cpd.Checkpointable() {
+				t.Fatalf("%s frames do not checkpoint", tc.alg)
+			}
+			ref := driveStepwise(t, mk(true), nil, false)
+			cpd = driveStepwise(t, cpd, func() *sim.Engine { return mk(false) }, true)
+
+			refSnap, cpdSnap := ref.Snapshot(), cpd.Snapshot()
+			if refSnap.Key() != cpdSnap.Key() {
+				t.Errorf("configuration keys diverge: checkpointed %#x, coroutine %#x", cpdSnap.Key(), refSnap.Key())
+			}
+			if !reflect.DeepEqual(refSnap.AgentHashes, cpdSnap.AgentHashes) {
+				t.Errorf("agent hashes diverge:\ncheckpointed: %#x\ncoroutine:    %#x", cpdSnap.AgentHashes, refSnap.AgentHashes)
+			}
+			refRes, cpdRes := ref.ResultNow(), cpd.ResultNow()
+			if !reflect.DeepEqual(refRes.Positions(), cpdRes.Positions()) {
+				t.Errorf("positions diverge: checkpointed %v, coroutine %v", cpdRes.Positions(), refRes.Positions())
+			}
+			if refRes.Steps != cpdRes.Steps || refRes.TotalMoves != cpdRes.TotalMoves {
+				t.Errorf("steps/moves diverge: checkpointed %d/%d, coroutine %d/%d",
+					cpdRes.Steps, cpdRes.TotalMoves, refRes.Steps, refRes.TotalMoves)
+			}
+		})
+	}
+}

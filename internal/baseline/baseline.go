@@ -86,3 +86,19 @@ func (f *firstFitFrame) Step(api sim.API) sim.Action {
 	f.i = 1
 	return sim.Action{Kind: sim.ActionMove}
 }
+
+// SaveState/LoadState implement sim.FrameSaver: the frame's resumable
+// state is four scalars (started encoded as 0/1).
+func (f *firstFitFrame) SaveState(buf []int) []int {
+	started := 0
+	if f.started {
+		started = 1
+	}
+	return append(buf, started, f.stride, f.hop, f.i)
+}
+
+func (f *firstFitFrame) LoadState(buf []int) int {
+	f.started = buf[0] != 0
+	f.stride, f.hop, f.i = buf[1], buf[2], buf[3]
+	return 4
+}

@@ -194,3 +194,19 @@ func (f *alg1Frame) deployStart() sim.Action {
 	f.left--
 	return sim.Action{Kind: sim.ActionMove}
 }
+
+// SaveState/LoadState implement sim.FrameSaver: the frame's resumable
+// state is its phase tag, scalar counters, and the distance sequence
+// under construction, flattened length-prefixed. The alg1 program value
+// itself is immutable configuration and is not serialized.
+func (f *alg1Frame) SaveState(buf []int) []int {
+	buf = append(buf, f.phase, f.dis, f.moved, f.left, len(f.d))
+	return append(buf, f.d...)
+}
+
+func (f *alg1Frame) LoadState(buf []int) int {
+	f.phase, f.dis, f.moved, f.left = buf[0], buf[1], buf[2], buf[3]
+	n := buf[4]
+	f.d = append(f.d[:0], buf[5:5+n]...)
+	return 5 + n
+}

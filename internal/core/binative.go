@@ -182,3 +182,18 @@ func (f *biNativeFrame) deployStart() sim.Action {
 	f.left--
 	return sim.Action{Kind: sim.ActionMove, Port: f.port}
 }
+
+// SaveState/LoadState implement sim.FrameSaver (see alg1Frame): phase,
+// counters, the deployment direction, and the length-prefixed distance
+// sequence.
+func (f *biNativeFrame) SaveState(buf []int) []int {
+	buf = append(buf, f.phase, f.dis, f.moved, f.port, f.left, len(f.d))
+	return append(buf, f.d...)
+}
+
+func (f *biNativeFrame) LoadState(buf []int) int {
+	f.phase, f.dis, f.moved, f.port, f.left = buf[0], buf[1], buf[2], buf[3], buf[4]
+	n := buf[5]
+	f.d = append(f.d[:0], buf[6:6+n]...)
+	return 6 + n
+}

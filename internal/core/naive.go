@@ -129,3 +129,17 @@ func (f *naiveFrame) deployStart() sim.Action {
 	f.left--
 	return sim.Action{Kind: sim.ActionMove}
 }
+
+// SaveState/LoadState implement sim.FrameSaver (see alg1Frame): phase,
+// counters, and the length-prefixed distance sequence.
+func (f *naiveFrame) SaveState(buf []int) []int {
+	buf = append(buf, f.phase, f.dis, f.left, len(f.d))
+	return append(buf, f.d...)
+}
+
+func (f *naiveFrame) LoadState(buf []int) int {
+	f.phase, f.dis, f.left = buf[0], buf[1], buf[2]
+	n := buf[3]
+	f.d = append(f.d[:0], buf[4:4+n]...)
+	return 4 + n
+}

@@ -3,8 +3,6 @@ package explore
 import (
 	"sync"
 	"sync/atomic"
-
-	"agentring/internal/sim"
 )
 
 // stats is the search's shared scoreboard. Every counter is atomic so
@@ -50,7 +48,7 @@ const cacheShards = 64
 // set is a superset of the stored one).
 type cacheEntry struct {
 	depth    int
-	sleep    map[int]sim.Choice
+	sleep    sleepSet
 	terminal bool
 }
 
@@ -63,14 +61,14 @@ type cacheEntry struct {
 type stateCache struct {
 	shards [cacheShards]struct {
 		mu sync.Mutex
-		m  map[uint64]*cacheEntry
+		m  map[uint64]cacheEntry
 	}
 }
 
 func newStateCache() *stateCache {
 	c := &stateCache{}
 	for i := range c.shards {
-		c.shards[i].m = make(map[uint64]*cacheEntry)
+		c.shards[i].m = make(map[uint64]cacheEntry)
 	}
 	return c
 }
@@ -102,7 +100,11 @@ const (
 // inserts on different shards can overshoot it by at most one state per
 // worker, and with Workers <= 1 the bound is exact (which keeps
 // truncated sequential searches deterministic).
-func (c *stateCache) visit(key uint64, depth int, sleep map[int]sim.Choice, terminal bool, maxStates int64, st *stats) (visitOutcome, map[int]sim.Choice, bool) {
+// Sleep sets are frozen once handed in (see sleepSet), so entries store
+// the caller's slice directly — no defensive clone, and entries live in
+// the map by value, so a fresh state costs one map insert and nothing
+// else.
+func (c *stateCache) visit(key uint64, depth int, sleep sleepSet, terminal bool, maxStates int64, st *stats) (visitOutcome, sleepSet, bool) {
 	s := &c.shards[key%cacheShards]
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -120,7 +122,7 @@ func (c *stateCache) visit(key uint64, depth int, sleep map[int]sim.Choice, term
 			return visitTruncated, nil, false
 		}
 		st.states.Add(1)
-		s.m[key] = &cacheEntry{depth: depth, sleep: cloneSleep(sleep), terminal: terminal}
+		s.m[key] = cacheEntry{depth: depth, sleep: sleep, terminal: terminal}
 		if terminal {
 			st.terminals.Add(1)
 			st.distinctTerminals.Add(1)
@@ -130,21 +132,25 @@ func (c *stateCache) visit(key uint64, depth int, sleep map[int]sim.Choice, term
 	// Seen before, but this visit is shallower or suppresses fewer
 	// transitions: re-explore the union by intersecting sleep sets.
 	sleep = intersectSleep(sleep, entry.sleep)
-	entry.sleep = cloneSleep(sleep)
+	entry.sleep = sleep
 	if depth < entry.depth {
 		entry.depth = depth
 	}
+	first := false
 	if terminal {
 		st.terminals.Add(1)
 		// The key determines the configuration, so a revisited terminal
 		// key was terminal on first visit too; first stays false and the
 		// property is not re-checked. The defensive update keeps the
 		// invariant even if that ever changed.
-		first := !entry.terminal
+		first = !entry.terminal
 		if first {
 			entry.terminal = true
 			st.distinctTerminals.Add(1)
 		}
+	}
+	s.m[key] = entry
+	if terminal {
 		return visitExpand, nil, first
 	}
 	return visitExpand, sleep, false

@@ -10,10 +10,16 @@
 //
 // A node of the tree is a prefix of scheduling decisions (indices into
 // the engine's deterministic enabled-choice order). Expanding a node
-// replays the prefix from the initial configuration on a fresh engine
-// under a sim.Controlled scheduler, which stops exactly at the next
-// decision point and reports the enabled set there. Prefixes are
-// expanded by a pool of work-stealing workers sharing two reductions:
+// reaches its state and asks the engine for the enabled set there.
+// There are two ways to reach it: the checkpoint mode (the default
+// whenever the programs run as checkpointable frames — see sim's
+// FrameSaver) restores a pooled engine checkpoint at most
+// CheckpointStride levels up and applies only the missing decisions,
+// while the replay mode (coroutine programs, or Options.ForceReplay)
+// replays the whole prefix from the initial configuration on a fresh
+// engine under a sim.Controlled scheduler. Both modes share the same
+// caching, reduction, bounds, and verdict logic downstream of reaching
+// the state, and two reductions:
 //
 //   - canonical-state caching: every replayed prefix is hashed into a
 //     canonical state key (sim.Configuration.Key over the visible
@@ -26,6 +32,38 @@
 //   - a sleep-set-style partial-order reduction: commuting reorderings
 //     of already-explored siblings are skipped, with commutation
 //     decided by the per-directed-edge independence relation below.
+//
+// # Checkpoint mode
+//
+// Replay-from-root made a state cost O(depth) engine steps; the
+// checkpoint search makes it amortized O(CheckpointStride). Each
+// worker owns one resident engine that simply sits wherever its last
+// expansion left it: in DFS order the next item popped is almost
+// always a child of that position, so the warm path applies exactly
+// one decision. Backtracks, steals, and cross-subtree jumps restore
+// the item's checkpoint — a reference-counted, pool-recycled
+// sim.Checkpoint captured at most CheckpointStride levels above it
+// (every expanded node either inherits its parent's reference or, at
+// stride boundaries, captures a fresh one) — and re-apply the short
+// suffix. An item's path is an immutable parent-chain of one-decision
+// nodes shared with its siblings, so creating a child is O(1) and the
+// full prefix slice is materialized only when a counterexample needs
+// confirming. The stride default (4) sits on the flat part of the
+// ns/state curve; steady-state expansion is allocation-light by
+// construction (pooled checkpoints, per-worker scratch, slice-backed
+// sleep sets), which BenchmarkExploreParallel's allocs/state metric
+// gates in CI.
+//
+// Soundness reduces to the engine's restore ≡ replay guarantee
+// (sim.Checkpoint; TestFrameCoroutineCheckpointCrossCheck): a restored
+// engine is indistinguishable from one that executed the prefix, so
+// the search tree the checkpoint mode walks is *the same tree* the
+// replay mode walks — TestCheckpointReplayCrossCheck holds every
+// report field to that, per algorithm and fault timeline. Verdicts
+// stay byte-identical because every violation the checkpoint path
+// detects is confirmed by one sequential from-root replay before being
+// reported, so the emitted counterexample never depends on the search
+// mode, the worker count, or which checkpoint the detection ran from.
 //
 // # The parallel frontier
 //

@@ -24,6 +24,16 @@ const (
 	DefaultMaxStates = 1 << 20
 )
 
+// DefaultCheckpointStride is the depth interval at which the
+// checkpointed search captures a fresh engine snapshot (see
+// Options.CheckpointStride). Chosen by BenchmarkExploreParallel: small
+// strides buy little (the warm-engine path already makes the common
+// expansion a single applied action) while paying a checkpoint copy
+// per stride levels; large strides lengthen the restore-replay suffix
+// after a steal. 4 sits on the flat part of the curve for every
+// benched workload.
+const DefaultCheckpointStride = 4
+
 // progressInterval is how often a running search emits Progress
 // snapshots; a variable so tests can tighten it.
 var progressInterval = 200 * time.Millisecond
@@ -107,6 +117,21 @@ type Options struct {
 	// only the work to cover it changes. Used to cross-check the
 	// reduction.
 	DisableReduction bool
+	// CheckpointStride is the depth interval K at which the
+	// checkpoint-driven search captures a new engine snapshot for the
+	// subtree below: backtracking (or stealing) restores the nearest
+	// checkpoint and re-applies at most K recorded actions, making
+	// per-state cost amortized O(K) instead of O(depth). Zero selects
+	// DefaultCheckpointStride. Meaningful only when every agent program
+	// is checkpointable (sim.FrameSaver); otherwise the search replays
+	// from the initial configuration as before.
+	CheckpointStride int
+	// ForceReplay disables the checkpoint/restore fast path, forcing
+	// replay-from-root even for checkpointable programs. Coverage,
+	// verdicts, and counterexamples are identical either way (the
+	// checkpoint cross-check tests pin this); the switch exists for
+	// those tests and for bisecting a suspected checkpoint bug.
+	ForceReplay bool
 	// Progress, if non-nil, receives periodic snapshots of the running
 	// search (roughly every 200ms, plus one final snapshot as the
 	// search finishes). It is called from a dedicated goroutine,
@@ -315,6 +340,37 @@ func run(ctx context.Context, setup Setup, opts Options, rankSrc []int32, bounda
 		frontier: newFrontier(workers),
 		loads:    make([]atomic.Int64, workers),
 		start:    time.Now(),
+		stride:   opts.CheckpointStride,
+		wes:      make([]workerEngine, workers),
+	}
+	if x.stride <= 0 {
+		x.stride = DefaultCheckpointStride
+	}
+	x.cpPool.New = func() any { return new(sim.Checkpoint) }
+
+	// Probe for checkpoint mode: when every agent program runs as a
+	// FrameSaver frame, the search drives resident engines through
+	// restore + bounded re-apply instead of replaying every prefix from
+	// the initial configuration. The probe engine is recycled as worker
+	// 0's resident engine, and its capture of the initial configuration
+	// becomes the root checkpoint.
+	rootItem := item{}
+	if !opts.ForceReplay {
+		eng, err := x.newEngine()
+		if err != nil {
+			return Report{}, err
+		}
+		if eng.Checkpointable() {
+			root := x.cpPool.Get().(*sim.Checkpoint)
+			if err := eng.CheckpointTo(root); err != nil {
+				return Report{}, fmt.Errorf("%w: %v", ErrSetup, err)
+			}
+			x.cpMode = true
+			rootRef := &cpRef{cp: root}
+			rootRef.refs.Store(1)
+			rootItem.cp = rootRef
+			x.wes[0] = workerEngine{eng: eng}
+		}
 	}
 
 	// Watchdog: a context cancellation or an expired wall-clock budget
@@ -347,7 +403,7 @@ func run(ctx context.Context, setup Setup, opts Options, rankSrc []int32, bounda
 		}()
 	}
 
-	x.frontier.push(0, []item{{}})
+	x.frontier.push(0, []item{rootItem})
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -418,9 +474,57 @@ type explorer struct {
 	abort    atomic.Int32
 	start    time.Time
 
+	// Checkpoint mode (cpMode): every frontier item carries a reference
+	// to a pooled engine checkpoint at most stride levels above it, each
+	// worker owns one resident engine (wes), and expansion restores +
+	// re-applies the suffix instead of replaying from the initial
+	// configuration.
+	cpMode bool
+	stride int
+	cpPool sync.Pool
+	wes    []workerEngine
+
 	mu  sync.Mutex
 	cex *Counterexample
 	err error
+}
+
+// workerEngine is one worker's resident engine together with the
+// decision-tree node the engine currently sits at. The warm path — the
+// item being expanded descends from the engine's current node — skips
+// the restore entirely; in DFS order that is the overwhelmingly common
+// case, so most states cost a single applied action. It doubles as the
+// worker's per-expansion scratch space (both search modes), which is
+// what keeps the steady-state expansion loop nearly allocation-free.
+type workerEngine struct {
+	eng      *sim.Engine
+	node     *prefixNode
+	valid    bool
+	suffix   []int        // scratch: decisions between start point and item
+	kids     []item       // scratch: children built by makeChildren
+	explored []sim.Choice // scratch: explored siblings in makeChildren
+}
+
+// cpRef is a reference-counted handle on a pooled checkpoint: every
+// frontier item below it holds one reference, released when the item is
+// expanded; the checkpoint returns to the pool when the last drops.
+// Items abandoned by an early stop never release theirs — the handles
+// are then garbage collected with the frontier, which only forgoes
+// reuse, never correctness.
+type cpRef struct {
+	cp    *sim.Checkpoint
+	depth int
+	refs  atomic.Int64
+}
+
+func (x *explorer) release(ref *cpRef) {
+	if ref == nil {
+		return
+	}
+	if ref.refs.Add(-1) == 0 {
+		x.cpPool.Put(ref.cp)
+		ref.cp = nil
+	}
 }
 
 func (x *explorer) work(w int) {
@@ -429,9 +533,31 @@ func (x *explorer) work(w int) {
 		if !ok {
 			return
 		}
-		x.expand(w, it)
+		if x.cpMode {
+			x.expandCP(w, it)
+		} else {
+			x.expand(w, it)
+		}
 		x.frontier.finish()
 	}
+}
+
+// newEngine builds a fresh tracked engine over the setup (no scheduler:
+// checkpoint-mode engines are driven through the step API, never Run).
+func (x *explorer) newEngine() (*sim.Engine, error) {
+	programs, err := x.setup.Programs()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSetup, err)
+	}
+	eng, err := sim.NewEngine(x.setup.Topology, x.setup.Homes, programs, sim.Options{
+		MaxSteps:   x.opts.MaxSteps,
+		Faults:     x.setup.Faults,
+		TrackState: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSetup, err)
+	}
+	return eng, nil
 }
 
 // replay runs the decision prefix on a fresh engine and returns the
@@ -563,19 +689,33 @@ func (x *explorer) expand(w int, it item) {
 	}
 
 	enabled := ctrl.Record[depth]
+	children := x.makeChildren(w, it, enabled, sleep, depth)
+	slices.Reverse(children)
+	x.frontier.push(w, children)
+}
+
+// makeChildren builds the frontier items for the unsuppressed enabled
+// choices of a node being expanded, applying the sleep-set reduction
+// and its fault-boundary stratification identically for the replay and
+// checkpoint search modes.
+// The children slice and explored scratch are owned by the calling
+// worker and reused across expansions (frontier.push copies items into
+// the deque, so neither outlives the call).
+func (x *explorer) makeChildren(w int, it item, enabled []sim.Choice, sleep sleepSet, depth int) []item {
 	// At a fault boundary the children's executions fire a mutation, so
 	// no commutation across it may be recorded; inherited suppressions
 	// still apply (their exchanges happened at shallower, checked
 	// depths), but children start from empty sleep sets.
 	boundary := x.boundary[depth+1]
-	children := make([]item, 0, len(enabled))
-	var explored []sim.Choice
+	scr := &x.wes[w]
+	children := scr.kids[:0]
+	explored := scr.explored[:0]
 	for i, c := range enabled {
-		if _, suppressed := sleep[c.Agent]; suppressed {
+		if sleep.has(c.Agent) {
 			x.st.sleepSkips.Add(1)
 			continue
 		}
-		var childSleep map[int]sim.Choice
+		var childSleep sleepSet
 		if !x.opts.DisableReduction && !boundary {
 			// The child inherits every suppressed or already-explored
 			// sibling that commutes with c: executing it before or
@@ -592,14 +732,196 @@ func (x *explorer) expand(w int, it item) {
 				}
 			}
 		}
-		prefix := make([]int, len(it.prefix)+1)
-		copy(prefix, it.prefix)
-		prefix[len(it.prefix)] = i
-		children = append(children, item{prefix: prefix, sleep: childSleep})
+		if x.cpMode {
+			// The path is the shared parent chain plus one edge: O(1)
+			// per child instead of an O(depth) prefix copy.
+			children = append(children, item{
+				node:  &prefixNode{parent: it.node, last: i, depth: depth + 1},
+				sleep: childSleep,
+			})
+		} else {
+			prefix := make([]int, len(it.prefix)+1)
+			copy(prefix, it.prefix)
+			prefix[len(it.prefix)] = i
+			children = append(children, item{prefix: prefix, sleep: childSleep})
+		}
 		explored = append(explored, c)
+	}
+	scr.kids = children
+	scr.explored = explored
+	return children
+}
+
+// expandCP is expand for the checkpoint-driven search: instead of
+// replaying it.prefix from the initial configuration, it restores the
+// item's checkpoint (at most stride levels up) — or, on the warm path,
+// reuses the worker's resident engine already sitting at an ancestor —
+// and applies only the missing suffix. Everything downstream of
+// reaching the state (state keying, caching, reduction, bounds,
+// verdicts) is shared with the replay mode, and every counterexample is
+// routed through one from-root replay (confirmCex), so reports stay
+// byte-identical between modes and across worker counts.
+func (x *explorer) expandCP(w int, it item) {
+	defer x.release(it.cp)
+	if x.frontier.stopped() {
+		return
+	}
+	x.loads[w].Add(1)
+	we := &x.wes[w]
+	if we.eng == nil {
+		eng, err := x.newEngine()
+		if err != nil {
+			x.fail(err)
+			return
+		}
+		we.eng = eng
+	}
+	eng := we.eng
+	depth := nodeDepth(it.node)
+
+	// Walk the item's ancestor chain collecting the decisions (newest
+	// first) down to the cheapest usable starting point: the worker's
+	// resident engine when it sits at an ancestor (the owner-pops-child
+	// case: exactly the parent), the item's checkpoint otherwise
+	// (backtracks and steals) — at most stride decisions away.
+	suffix := we.suffix[:0]
+	start := -1
+	for n := it.node; ; n = n.parent {
+		if we.valid && n == we.node {
+			start = nodeDepth(n)
+			break
+		}
+		if nodeDepth(n) == it.cp.depth {
+			break
+		}
+		suffix = append(suffix, n.last)
+	}
+	we.suffix = suffix
+	if start < 0 {
+		we.valid = false
+		if err := eng.Restore(it.cp.cp); err != nil {
+			x.fail(fmt.Errorf("%w: %v", ErrSetup, err))
+			return
+		}
+		start = it.cp.depth
+	}
+	we.valid = false
+
+	for i := len(suffix) - 1; i >= 0; i-- {
+		cs := eng.DecisionPoint()
+		if suffix[i] >= len(cs) {
+			x.fail(fmt.Errorf("%w: checkpoint replay desynchronized at depth %d", ErrSetup, depth-1-i))
+			return
+		}
+		if eng.Steps() >= eng.StepLimit() {
+			x.confirmCex(materializePrefix(it.node))
+			return
+		}
+		if err := eng.ApplyChoice(cs[suffix[i]]); err != nil {
+			if errors.Is(err, sim.ErrBadSetup) {
+				x.fail(err)
+				return
+			}
+			// A program failure: this schedule defeats the algorithm.
+			x.confirmCex(materializePrefix(it.node))
+			return
+		}
+	}
+	enabled := eng.DecisionPoint()
+	x.st.replays.Add(1)
+	x.st.stepsReplayed.Add(int64(depth - start))
+	x.st.observeDepth(depth)
+	quiesced := len(enabled) == 0
+	if !quiesced && eng.Steps() >= eng.StepLimit() {
+		// Run would abort this schedule with ErrStepLimit at the same
+		// decision point.
+		x.confirmCex(materializePrefix(it.node))
+		return
+	}
+	// The engine now sits exactly at the item's node: subsequent items
+	// that descend from it (the owner's next pops) start from here.
+	we.node = it.node
+	we.valid = true
+
+	key := eng.StateKey()
+	if len(x.setup.Faults) > 0 {
+		key = mix64(key ^ (uint64(depth) + 1))
+	}
+	if x.opts.MaxTotalMoves > 0 && eng.TotalMoves() > x.opts.MaxTotalMoves {
+		x.confirmCex(materializePrefix(it.node))
+		return
+	}
+	outcome, sleep, firstTerminal := x.cache.visit(key, depth, it.sleep, quiesced, int64(x.opts.MaxStates), &x.st)
+	if outcome != visitExpand {
+		return
+	}
+	if quiesced {
+		if firstTerminal {
+			if why := x.setup.Property(eng.ResultNow()); why != "" {
+				x.confirmCex(materializePrefix(it.node))
+			}
+		}
+		return
+	}
+	if depth >= x.opts.MaxDepth {
+		x.st.truncated.Add(1)
+		return
+	}
+
+	children := x.makeChildren(w, it, enabled, sleep, depth)
+	if len(children) == 0 {
+		return
+	}
+	// Attach the subtree's checkpoint: a fresh capture every stride
+	// levels, the parent's otherwise. References cover every child
+	// before the parent's own is released (deferred above).
+	ref := it.cp
+	if depth-ref.depth >= x.stride {
+		cp := x.cpPool.Get().(*sim.Checkpoint)
+		if err := eng.CheckpointTo(cp); err != nil {
+			x.fail(fmt.Errorf("%w: %v", ErrSetup, err))
+			return
+		}
+		ref = &cpRef{cp: cp, depth: depth}
+	}
+	ref.refs.Add(int64(len(children)))
+	for i := range children {
+		children[i].cp = ref
 	}
 	slices.Reverse(children)
 	x.frontier.push(w, children)
+}
+
+// confirmCex converts a violation the checkpoint path detected into the
+// canonical counterexample by replaying the prefix once from the
+// initial configuration: the replay's Record supplies the schedule (and
+// its truncation on step-limit overruns), so the emitted counterexample
+// is byte-identical to the one the replay-only search reports for the
+// same prefix — regardless of search mode, worker count, or which
+// checkpoint the detection ran from.
+func (x *explorer) confirmCex(prefix []int) {
+	ctrl, res, _, err := x.replay(prefix)
+	switch {
+	case errors.Is(err, errReported):
+		return // program failure or step limit: replay already reported it
+	case err != nil:
+		x.fail(err)
+		return
+	}
+	if x.opts.MaxTotalMoves > 0 && res.TotalMoves > x.opts.MaxTotalMoves {
+		x.foundCex(prefix, ctrl, res,
+			fmt.Sprintf("total moves %d exceed bound %d", res.TotalMoves, x.opts.MaxTotalMoves))
+		return
+	}
+	if res.Quiesced {
+		if why := x.setup.Property(res); why != "" {
+			x.foundCex(prefix, ctrl, res, why)
+			return
+		}
+	}
+	// The confirming replay must reproduce the violation; reaching here
+	// means checkpoint and replay executions disagree on this prefix.
+	x.fail(fmt.Errorf("%w: checkpoint/replay divergence on prefix %v", ErrSetup, prefix))
 }
 
 // snapshot assembles one Progress from the live counters.
@@ -690,44 +1012,59 @@ func (x *explorer) independent(a, b sim.Choice) bool {
 	return true
 }
 
-func addSleep(s map[int]sim.Choice, c sim.Choice) map[int]sim.Choice {
-	if s == nil {
-		s = make(map[int]sim.Choice)
+// sleepSet is a set of suppressed choices keyed by agent id. It holds
+// at most one entry per agent and at most k entries total, so it is a
+// plain slice with linear operations: for the k ≤ 8 agent counts the
+// searches run at, a scan beats a map on every axis and — the reason
+// it replaced one — building a child's set is a single allocation
+// instead of a map header plus buckets, which together with the
+// children it rides on dominated the checkpoint explorer's allocation
+// profile. Entry order is arbitrary; all comparisons are set-wise.
+//
+// A sleepSet is frozen once its owning item is created or it is handed
+// to the state cache: every derivation (inherit, intersect) builds a
+// fresh slice, which is what lets items and cache entries share one
+// backing array without cloning.
+type sleepSet []sim.Choice
+
+func (s sleepSet) has(agent int) bool {
+	for i := range s {
+		if s[i].Agent == agent {
+			return true
+		}
 	}
-	s[c.Agent] = c
-	return s
+	return false
+}
+
+func addSleep(s sleepSet, c sim.Choice) sleepSet {
+	for i := range s {
+		if s[i].Agent == c.Agent {
+			s[i] = c
+			return s
+		}
+	}
+	return append(s, c)
 }
 
 // subsetOf reports a ⊆ b by agent id.
-func subsetOf(a, b map[int]sim.Choice) bool {
+func subsetOf(a, b sleepSet) bool {
 	if len(a) > len(b) {
 		return false
 	}
-	for id := range a {
-		if _, ok := b[id]; !ok {
+	for i := range a {
+		if !b.has(a[i].Agent) {
 			return false
 		}
 	}
 	return true
 }
 
-func intersectSleep(a, b map[int]sim.Choice) map[int]sim.Choice {
-	var out map[int]sim.Choice
-	for id, c := range a {
-		if _, ok := b[id]; ok {
-			out = addSleep(out, c)
+func intersectSleep(a, b sleepSet) sleepSet {
+	var out sleepSet
+	for i := range a {
+		if b.has(a[i].Agent) {
+			out = append(out, a[i])
 		}
-	}
-	return out
-}
-
-func cloneSleep(s map[int]sim.Choice) map[int]sim.Choice {
-	if len(s) == 0 {
-		return nil
-	}
-	out := make(map[int]sim.Choice, len(s))
-	for id, c := range s {
-		out[id] = c
 	}
 	return out
 }

@@ -3,16 +3,55 @@ package explore
 import (
 	"sync"
 	"sync/atomic"
-
-	"agentring/internal/sim"
 )
 
 // item is one unit of search work: a replayable decision prefix plus
 // the sleep set in force when it was generated. Each item owns its
 // prefix slice — items migrate between workers, so nothing may alias.
+// In checkpoint mode, cp references an engine checkpoint at most
+// CheckpointStride levels above the prefix: the expanding worker (owner
+// or thief alike) restores it and applies only the missing suffix, so a
+// stolen item never replays from the initial configuration. The
+// checkpoint contents are immutable while referenced; the reference
+// count returns them to the pool.
 type item struct {
 	prefix []int
-	sleep  map[int]sim.Choice
+	sleep  sleepSet
+	cp     *cpRef
+	// node replaces prefix in checkpoint mode: the decision path is an
+	// immutable parent-chain (one 3-word node per tree edge, shared by
+	// all descendants) instead of one O(depth) slice per item — which is
+	// what makes per-state cost O(stride) rather than O(depth). Full
+	// slices are materialized only for counterexample confirmation.
+	node *prefixNode
+}
+
+// prefixNode is one edge of the decision tree: taking decision last at
+// the parent's state. The root is nil (depth 0).
+type prefixNode struct {
+	parent *prefixNode
+	last   int
+	depth  int
+}
+
+func nodeDepth(n *prefixNode) int {
+	if n == nil {
+		return 0
+	}
+	return n.depth
+}
+
+// materializePrefix rebuilds the decision-index slice for the path from
+// the root to n.
+func materializePrefix(n *prefixNode) []int {
+	if n == nil {
+		return nil
+	}
+	buf := make([]int, n.depth)
+	for ; n != nil; n = n.parent {
+		buf[n.depth-1] = n.last
+	}
+	return buf
 }
 
 // frontier is the work-stealing scheduler of the parallel search. Each

@@ -192,11 +192,15 @@ func TestEdgeIndependenceSound(t *testing.T) {
 // search where it is and reports honest partial coverage — truncated
 // branches, no completeness claim, no bogus counterexample, no error.
 func TestMaxDurationTruncates(t *testing.T) {
+	// ForceReplay keeps the search slow enough that a 5ms budget
+	// reliably expires mid-run; the checkpointed search finishes this
+	// whole space faster than that, and the watchdog under test is
+	// shared by both modes.
 	rep, err := Explore(context.Background(), Setup{
 		N:        8,
 		Homes:    []ring.NodeID{0, 1, 2, 3},
 		Programs: alg1Factory(4),
-	}, Options{MaxDuration: 5 * time.Millisecond})
+	}, Options{MaxDuration: 5 * time.Millisecond, ForceReplay: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,11 +221,13 @@ func TestMaxDurationTruncates(t *testing.T) {
 func TestContextCancelAborts(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
 	defer cancel()
+	// ForceReplay for the same reason as TestMaxDurationTruncates: the
+	// search must still be running when the 5ms deadline fires.
 	rep, err := Explore(ctx, Setup{
 		N:        8,
 		Homes:    []ring.NodeID{0, 1, 2},
 		Programs: alg1Factory(3),
-	}, Options{Workers: 4})
+	}, Options{Workers: 4, ForceReplay: true})
 	if err == nil {
 		t.Fatal("cancelled search returned no error")
 	}

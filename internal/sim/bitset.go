@@ -133,6 +133,26 @@ func (b *bitset) next(i int) int {
 	return idx
 }
 
+// copyFrom makes b an exact copy of src. Both sets must cover the same
+// universe (callers guarantee this; checkpoints carry shape guards).
+func (b *bitset) copyFrom(src *bitset) {
+	for l := range b.level {
+		copy(b.level[l], src.level[l])
+	}
+	b.count = src.count
+}
+
+// clear empties the set in place.
+func (b *bitset) clear() {
+	for l := range b.level {
+		words := b.level[l]
+		for i := range words {
+			words[i] = 0
+		}
+	}
+	b.count = 0
+}
+
 // nextCyclic returns the smallest member >= i, wrapping around to the
 // smallest member overall when none follows i. It returns -1 only on an
 // empty set. This is exactly the round-robin successor: the scheduler's

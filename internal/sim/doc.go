@@ -69,6 +69,30 @@
 // DynRing variants measure this; the committed BENCH_baseline.json
 // gates ns/step, B/op, allocs/op, and bytes/node in CI.
 //
+// # Checkpoint/restore
+//
+// Engine.Checkpoint / CheckpointTo / Restore capture and reinstate the
+// complete mutable engine state — the SoA agent arrays, per-edge FIFO
+// links, staying lists, hierarchical bitsets, mailboxes, fault
+// epoch/down-mask/cursor, and the agents' program state — as one flat,
+// engine-independent copy (checkpoint.go). CheckpointTo reuses the
+// destination's storage, so a pooled checkpoint costs zero steady-state
+// allocations. Program state is only capturable for Framer programs
+// whose frames also implement FrameSaver (a save/load of their resumable
+// state as plain ints); Checkpointable reports whether an engine
+// qualifies. Coroutine agents hold their state on a goroutine stack
+// that cannot be copied, so the coroutine fallback stays replay-only —
+// and TestFrameCoroutineCheckpointCrossCheck holds a checkpoint-
+// round-tripped frame engine to the coroutine reference at every
+// decision point, which is the "restore ≡ replay" guarantee the
+// schedule explorer's checkpoint mode builds on.
+//
+// Alongside restore sits the step-driven control surface the explorer
+// uses instead of Run: DecisionPoint fires due faults and returns the
+// enabled choices, ApplyChoice executes one, and StateKey computes the
+// canonical configuration key (identical to Snapshot().Key()) without
+// materializing a snapshot.
+//
 // # Dynamic topologies
 //
 // Options.Faults (or Engine.SetEdgeState) fails and repairs individual

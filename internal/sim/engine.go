@@ -203,6 +203,8 @@ type Engine struct {
 	delivered int
 	track     bool // Options.TrackState
 	quiesced  bool // Run ended with no enabled action (vs stopped/error)
+
+	keyScratch []int32 // StateKey's staying-agent sort buffer, reused across calls
 }
 
 // NewEngine builds an engine for k agents with the given distinct home

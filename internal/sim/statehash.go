@@ -23,20 +23,25 @@ const (
 	opArrivalPort
 )
 
-const fnvPrime64 = 1099511628211
-
-// fold mixes the 8 bytes of v into the running FNV-1a style hash h.
-// Programs are deterministic, so folding the full ordered sequence of
-// API calls and observed values yields a hash that identifies the
-// agent's internal state up to 64-bit collisions: equal interaction
-// histories drive a deterministic program through identical executions.
+// fold mixes v into the running hash h with one splitmix64 finalizer
+// round (full 64-bit avalanche in two multiplies — an order of
+// magnitude cheaper than the byte-at-a-time FNV loop it replaced,
+// which sat at the top of the explorer's per-state profile via
+// Engine.StateKey and the per-API-call observation folds). Programs
+// are deterministic, so folding the full ordered sequence of API calls
+// and observed values yields a hash that identifies the agent's
+// internal state up to 64-bit collisions: equal interaction histories
+// drive a deterministic program through identical executions. Hash
+// values are never persisted or pinned — only compared within one
+// process — so the mixer is free to change between versions.
 func fold(h, v uint64) uint64 {
-	for i := 0; i < 8; i++ {
-		h ^= v & 0xff
-		h *= fnvPrime64
-		v >>= 8
-	}
-	return h
+	x := h + v + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // hashPayload digests an arbitrary message payload through its printed
