@@ -16,6 +16,8 @@
 //	explore -n 5 -all -json -alg logspace    # NDJSON: one line per placement, streamed
 //	explore -n 4 -k 2 -faults 1:2:down,9:2:up # dynamic ring: link fails, recovers
 //	explore -n 4 -k 2 -faults permanent       # never repaired: finds the frozen-agent schedule
+//	explore -n 4 -k 2 -adversary 1/3          # online adversary: branch over every 1-link outage
+//	explore -n 8 -homes 0,1,2,3,4 -alg naive -adversary 1/3 # minimal breaking budget (WorstOutage)
 //	explore -n 8 -all -workers 4              # exhaustive n=8 on the work-stealing pool
 //	explore -n 8 -k 5 -duration 10s           # wall-clock budget: honest partial report
 //
@@ -32,6 +34,16 @@
 // — transient | churn | permanent — or a raw
 // "STEP:FROM[/PORT]:down|up,..." schedule) to every exploration: the
 // checker then enumerates all agent interleavings around that timeline.
+//
+// -adversary K/D[/T] replaces the fixed timeline with an online fault
+// adversary: failing and repairing links become choices of the schedule
+// itself, bounded by the budget (at most K links down at once, each
+// repaired within D atomic actions, at most T fails per schedule), so a
+// clean complete search proves the algorithm tolerates *every* outage
+// pattern within the budget. When a counterexample exists the report
+// includes the minimal concurrent-outage budget that already breaks the
+// algorithm (worst outage). Mutually exclusive with -faults; composes
+// with -all and -json.
 //
 // -cpuprofile/-memprofile write pprof profiles of the search (same
 // flags as sweep), keeping the checkpoint-mode hot path profileable.
@@ -79,6 +91,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		topoSpec = fs.String("topology", "ring", "substrate: ring | biring | torus=RxC | tree=<edge list>")
 		homesCSV = fs.String("homes", "", "comma-separated home nodes (overrides -k)")
 		faultStr = fs.String("faults", "", "fault plan: transient | churn | permanent | raw spec (STEP:FROM[/PORT]:down|up,...)")
+		advStr   = fs.String("adversary", "", "online fault adversary budget K/D[/T]: at most K links down at once, each repaired within D actions, at most T fails total (default K); exclusive with -faults")
 		all      = fs.Bool("all", false, "explore every initial configuration of the substrate (up to rotation on ring families; ignores -k and -homes)")
 		depth    = fs.Int("depth", 0, "schedule depth bound (0 = default)")
 		states   = fs.Int("states", 0, "distinct-state bound (0 = default)")
@@ -138,6 +151,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	faults, err := experiments.ResolveFaults(*faultStr, topo.Size())
 	if err != nil {
 		return err
+	}
+	if *advStr != "" {
+		if *faultStr != "" {
+			return fmt.Errorf("-adversary and -faults are mutually exclusive")
+		}
+		budget, err := agentring.ParseAdversary(*advStr)
+		if err != nil {
+			return err
+		}
+		opts.Adversary = &budget
 	}
 
 	// In -json mode, searches stream NDJSON progress rows (type
@@ -267,6 +290,9 @@ func printReport(out io.Writer, homes []int, rep agentring.ExploreReport) {
 	if rep.Faults != "" {
 		where += " faults=" + rep.Faults
 	}
+	if rep.Adversary != "" {
+		where += " adversary=" + rep.Adversary
+	}
 	fmt.Fprintf(out, "%s on %s homes=%v: %s\n", rep.Algorithm, where, homes, cover)
 	fmt.Fprintf(out, "  %d states (%d pruned, %d sleep-set skips), %d replays totalling %d steps\n",
 		rep.States, rep.Pruned, rep.SleepSkips, rep.Replays, rep.StepsReplayed)
@@ -276,6 +302,14 @@ func printReport(out io.Writer, homes []int, rep agentring.ExploreReport) {
 		fmt.Fprint(out, rep.Counterexample.Trace)
 	} else {
 		fmt.Fprintln(out, "  no counterexample: every explored schedule deploys uniformly")
+	}
+	if wo := rep.WorstOutage; wo != nil {
+		if wo.Breaks {
+			fmt.Fprintf(out, "  worst outage: breaks at concurrent budget %d (repair within %d, %d fails total)\n",
+				wo.MinConcurrent, wo.RepairWithin, wo.MaxTotal)
+		} else {
+			fmt.Fprintf(out, "  worst outage: tolerates the full %s budget\n", rep.Adversary)
+		}
 	}
 }
 

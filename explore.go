@@ -93,6 +93,15 @@ type ExploreOptions struct {
 	// Reduction selects the partial-order reduction mode (default
 	// ReductionAuto).
 	Reduction Reduction
+	// Adversary, if non-nil, runs the search against an online fault
+	// adversary: link failures and repairs become choices of the
+	// schedule, bounded by the budget, so the exploration quantifies
+	// over every failure pattern the budget admits instead of the fixed
+	// timeline Config.Faults replays. Mutually exclusive with
+	// Config.Faults. When the search finds a counterexample the report
+	// additionally carries WorstOutage — the minimal concurrent-outage
+	// budget that already breaks the algorithm.
+	Adversary *AdversaryBudget
 	// Progress, if non-nil, receives periodic snapshots of the running
 	// search (roughly every 200ms, plus a final one). Called from a
 	// dedicated goroutine concurrently with the search; must be cheap
@@ -158,6 +167,9 @@ type ExploreReport struct {
 	N         int    `json:"n"`
 	K         int    `json:"k"`
 	Faults    string `json:"faults,omitempty"`
+	// Adversary echoes the online adversary budget in ParseAdversary
+	// syntax (empty when the search ran without one).
+	Adversary string `json:"adversary,omitempty"`
 
 	// States counts distinct global states expanded; Pruned counts
 	// replays that converged onto an already-explored state; SleepSkips
@@ -183,6 +195,11 @@ type ExploreReport struct {
 	Complete bool `json:"complete"`
 	// Counterexample is the first failing schedule found, or nil.
 	Counterexample *ExploreCounterexample `json:"counterexample,omitempty"`
+	// WorstOutage, present only for adversary-mode searches, reports
+	// whether the budget admits a breaking schedule and, if so, the
+	// minimal concurrent-outage budget that already does (see
+	// WorstOutage).
+	WorstOutage *WorstOutage `json:"worst_outage,omitempty"`
 }
 
 // Explore model-checks the algorithm's behaviour over the asynchronous
@@ -210,6 +227,14 @@ type ExploreReport struct {
 // fires, and state convergence is only recognized between equal-length
 // schedules — fault searches cover the same space with more replays.
 //
+// ExploreOptions.Adversary goes further: the fault set becomes a choice
+// of the schedule itself, and the search branches over every failure
+// and repair the budget admits, interleaved every way with the agent
+// actions. A complete counterexample-free adversary search proves the
+// algorithm tolerates any eventually-repaired outage pattern within the
+// budget; a breaking one additionally reports WorstOutage, the minimal
+// concurrent-outage budget that already defeats the algorithm.
+//
 // Cancelling ctx aborts the search mid-flight: Explore then returns the
 // partial report alongside ctx's error. A nil ctx is treated as
 // context.Background(). Config's Scheduler, Seed and TraceCapacity are
@@ -236,6 +261,17 @@ func Explore(ctx context.Context, alg Algorithm, cfg Config, opts ExploreOptions
 	if _, err := buildPrograms(alg, cfg, n, k); err != nil {
 		return ExploreReport{}, err
 	}
+	var adv *AdversaryBudget
+	if opts.Adversary != nil {
+		if len(cfg.Faults) > 0 {
+			return ExploreReport{}, fmt.Errorf("%w: Adversary and Config.Faults are mutually exclusive", ErrConfig)
+		}
+		nb, nerr := opts.Adversary.normalize()
+		if nerr != nil {
+			return ExploreReport{}, nerr
+		}
+		adv = &nb
+	}
 	budget := opts.effectiveBudget()
 	var progress func(explore.Progress)
 	if opts.Progress != nil {
@@ -251,24 +287,34 @@ func Explore(ctx context.Context, alg Algorithm, cfg Config, opts ExploreOptions
 			})
 		}
 	}
-	rep, err := explore.Explore(ctx, explore.Setup{
-		N:        n,
-		Topology: st,
-		Homes:    homes,
-		Faults:   faultSchedule(cfg.Faults),
-		Programs: func() ([]sim.Program, error) {
-			return buildPrograms(alg, cfg, n, k)
-		},
-	}, explore.Options{
-		MaxDepth:         budget.MaxDepth,
-		MaxStates:        budget.MaxStates,
-		MaxSteps:         budget.MaxSteps,
-		MaxTotalMoves:    budget.MaxTotalMoves,
-		MaxDuration:      budget.MaxDuration,
-		Workers:          opts.Workers,
-		DisableReduction: opts.Reduction == ReductionOff,
-		Progress:         progress,
-	})
+	// search runs one exploration under the given adversary budget; the
+	// worst-outage probe reruns it with smaller ones.
+	search := func(ab *sim.AdversaryBudget, progress func(explore.Progress)) (explore.Report, error) {
+		return explore.Explore(ctx, explore.Setup{
+			N:         n,
+			Topology:  st,
+			Homes:     homes,
+			Faults:    faultSchedule(cfg.Faults),
+			Adversary: ab,
+			Programs: func() ([]sim.Program, error) {
+				return buildPrograms(alg, cfg, n, k)
+			},
+		}, explore.Options{
+			MaxDepth:         budget.MaxDepth,
+			MaxStates:        budget.MaxStates,
+			MaxSteps:         budget.MaxSteps,
+			MaxTotalMoves:    budget.MaxTotalMoves,
+			MaxDuration:      budget.MaxDuration,
+			Workers:          opts.Workers,
+			DisableReduction: opts.Reduction == ReductionOff,
+			Progress:         progress,
+		})
+	}
+	var advSim *sim.AdversaryBudget
+	if adv != nil {
+		advSim = adv.simBudget()
+	}
+	rep, err := search(advSim, progress)
 	if err != nil && ctx.Err() == nil {
 		return ExploreReport{}, fmt.Errorf("%w: %v", ErrConfig, err)
 	}
@@ -297,10 +343,53 @@ func Explore(ctx context.Context, alg Algorithm, cfg Config, opts ExploreOptions
 			Trace:     cex.String(),
 		}
 	}
+	if adv != nil {
+		out.Adversary = FormatAdversary(*adv)
+		if err == nil {
+			out.WorstOutage = worstOutageProbe(*adv, rep.Counterexample != nil, search)
+		}
+	}
 	// A cancelled context surfaces as the context's error with the
 	// partial report attached, so callers can both distinguish an abort
 	// from a finding and still see how far the search got.
 	return out, err
+}
+
+// worstOutageProbe computes ExploreReport.WorstOutage: when the
+// full-budget adversary search found a counterexample, it re-searches
+// under ascending concurrent-outage budgets k' = 0 (fault-free), 1, ...
+// and returns the first k' that admits a breaking schedule. The probe
+// holds RepairWithin and MaxTotal fixed and reuses the caller's bounds;
+// a k' whose search exhausts a budget without a finding counts as
+// tolerated, consistent with how incomplete searches report everywhere
+// else. The full-budget search already broke, so the ascent terminates
+// at MaxConcurrent at the latest without re-running it.
+func worstOutageProbe(adv AdversaryBudget, breaks bool, search func(*sim.AdversaryBudget, func(explore.Progress)) (explore.Report, error)) *WorstOutage {
+	wo := &WorstOutage{
+		Breaks:        breaks,
+		MinConcurrent: -1,
+		RepairWithin:  adv.RepairWithin,
+		MaxTotal:      adv.MaxTotal,
+	}
+	if !breaks {
+		return wo
+	}
+	wo.MinConcurrent = adv.MaxConcurrent
+	for kp := 0; kp < adv.MaxConcurrent; kp++ {
+		var ab *sim.AdversaryBudget
+		if kp > 0 {
+			ab = &sim.AdversaryBudget{MaxConcurrent: kp, RepairWithin: adv.RepairWithin, MaxTotal: adv.MaxTotal}
+		}
+		rep, err := search(ab, nil)
+		if err != nil {
+			break
+		}
+		if rep.Counterexample != nil {
+			wo.MinConcurrent = kp
+			break
+		}
+	}
+	return wo
 }
 
 // ExploreLegacy is the pre-v2 entry point: no context, flat bound

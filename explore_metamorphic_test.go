@@ -1,0 +1,85 @@
+package agentring_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+
+	"agentring"
+)
+
+// rotate shifts a placement one node around the ring, the metamorphic
+// transformation under which exploration results must be invariant.
+func rotate(n int, homes []int) []int {
+	out := make([]int, len(homes))
+	for i, h := range homes {
+		out[i] = (h + 1) % n
+	}
+	sort.Ints(out)
+	return out
+}
+
+// exploreSignature runs a sequential search and distills the
+// rotation-invariant part of its report. The full effort diagnostics
+// (replays, steps replayed) are visit-order artifacts and legitimately
+// vary under relabeling; the searched space, its verdict, and its shape
+// must not.
+func exploreSignature(t *testing.T, alg agentring.Algorithm, n int, homes []int, adv *agentring.AdversaryBudget) string {
+	t.Helper()
+	rep, err := agentring.Explore(context.Background(), alg,
+		agentring.Config{N: n, Homes: homes},
+		agentring.ExploreOptions{Adversary: adv, Workers: 1})
+	if err != nil {
+		t.Fatalf("n=%d homes=%v: %v", n, homes, err)
+	}
+	return fmt.Sprintf("states=%d terminals=%d distinct=%d deepest=%d complete=%v cex=%v",
+		rep.States, rep.Terminals, rep.DistinctTerminals, rep.Deepest,
+		rep.Complete, rep.Counterexample != nil)
+}
+
+// TestExploreRotationMetamorphic: rotating the initial placement around
+// the ring relabels nodes but cannot change anything the explorer
+// measures — the ring is vertex-transitive and the algorithms are
+// anonymous, so the schedule spaces of a placement and its rotation are
+// isomorphic. For EVERY placement on every ring with n <= 5, the
+// explorer's report must be identical to the rotated placement's
+// report, both without faults and under an online adversary (whose
+// fail/repair choices rotate along with the edges). A violation means
+// the search or its reductions are sensitive to node identity — a
+// soundness bug no single-instance test would catch.
+func TestExploreRotationMetamorphic(t *testing.T) {
+	budget := &agentring.AdversaryBudget{MaxConcurrent: 1, RepairWithin: 2}
+	max := 5
+	if testing.Short() {
+		max = 4
+	}
+	for n := 2; n <= max; n++ {
+		for mask := 1; mask < 1<<n; mask++ {
+			var homes []int
+			for v := 0; v < n; v++ {
+				if mask&(1<<v) != 0 {
+					homes = append(homes, v)
+				}
+			}
+			rot := rotate(n, homes)
+			for _, alg := range []agentring.Algorithm{agentring.Native, agentring.NaiveHalting} {
+				base := exploreSignature(t, alg, n, homes, nil)
+				if got := exploreSignature(t, alg, n, rot, nil); got != base {
+					t.Fatalf("%s n=%d: report not rotation invariant\n  homes %v: %s\n  homes %v: %s",
+						alg, n, homes, base, rot, got)
+				}
+			}
+			// Adversary mode on the smaller rings (the augmented spaces
+			// grow quickly; n <= 4 keeps the sweep brisk while still
+			// exercising every placement shape).
+			if n <= 4 {
+				base := exploreSignature(t, agentring.Native, n, homes, budget)
+				if got := exploreSignature(t, agentring.Native, n, rot, budget); got != base {
+					t.Fatalf("native n=%d adversary: report not rotation invariant\n  homes %v: %s\n  homes %v: %s",
+						n, homes, base, rot, got)
+				}
+			}
+		}
+	}
+}

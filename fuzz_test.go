@@ -1,0 +1,126 @@
+package agentring_test
+
+import (
+	"strings"
+	"testing"
+
+	"agentring"
+)
+
+// FuzzParseFaults drives arbitrary strings through the fault-schedule
+// parser and pins the parse/format round trip: ParseFaults must never
+// panic, and whenever it accepts an input, FormatFaults on the result
+// must render a spec that reparses to exactly the same events (format
+// is a canonical form, and parse∘format is the identity on parsed
+// values).
+func FuzzParseFaults(f *testing.F) {
+	f.Add("10:3:down,40:3:up")
+	f.Add("5:2/1:down")
+	f.Add("0:0:up")
+	f.Add(" 1 : 2 / 0 : down ")
+	f.Add("")
+	f.Add("1:2:3:4")
+	f.Add("-1:0:down")
+	f.Add("1:0/-1:up")
+	f.Add("1:0:sideways")
+	f.Add("9999999999999999999:0:down")
+	f.Fuzz(func(t *testing.T, spec string) {
+		events, err := agentring.ParseFaults(spec)
+		if err != nil {
+			return
+		}
+		out := agentring.FormatFaults(events)
+		back, err := agentring.ParseFaults(out)
+		if err != nil {
+			t.Fatalf("FormatFaults(%v) = %q does not reparse: %v", events, out, err)
+		}
+		if len(back) != len(events) {
+			t.Fatalf("round trip of %q changed event count: %v -> %v", spec, events, back)
+		}
+		for i := range events {
+			if back[i] != events[i] {
+				t.Fatalf("round trip of %q changed event %d: %+v -> %+v", spec, i, events[i], back[i])
+			}
+		}
+		// Formatting is a fixpoint: canonical output reformats to itself.
+		if again := agentring.FormatFaults(back); again != out {
+			t.Fatalf("FormatFaults not canonical: %q -> %q", out, again)
+		}
+	})
+}
+
+// FuzzParseAdversary pins the K/D[/T] budget parser the same way: no
+// panics, and accepted inputs round-trip through FormatAdversary.
+func FuzzParseAdversary(f *testing.F) {
+	f.Add("1/3")
+	f.Add("2/4/5")
+	f.Add("0/1")
+	f.Add("1/1/0")
+	f.Add(" 1 / 2 ")
+	f.Add("1//3")
+	f.Add("-1/3")
+	f.Fuzz(func(t *testing.T, spec string) {
+		b, err := agentring.ParseAdversary(spec)
+		if err != nil {
+			return
+		}
+		if b.MaxConcurrent < 1 || b.RepairWithin < 1 || b.MaxTotal < 1 {
+			t.Fatalf("ParseAdversary(%q) accepted unnormalized budget %+v", spec, b)
+		}
+		back, err := agentring.ParseAdversary(agentring.FormatAdversary(b))
+		if err != nil || back != b {
+			t.Fatalf("round trip of %q: %+v -> %+v, err %v", spec, b, back, err)
+		}
+	})
+}
+
+// FuzzParseTopology drives arbitrary (spec, n) pairs through the
+// topology parser: it must never panic, and any topology it accepts
+// must be internally consistent — a known kind, a positive size, and
+// usable as an explicit substrate.
+func FuzzParseTopology(f *testing.F) {
+	f.Add("ring", 5)
+	f.Add("", 3)
+	f.Add("biring", 4)
+	f.Add("torus=2x3", 0)
+	f.Add("torus=0x0", 1)
+	f.Add("tree=0-1,1-2", 0)
+	f.Add("tree=0-0", 2)
+	f.Add("tree=", 2)
+	f.Add("mobius", 7)
+	f.Add("torus=1000000x1000000", 1)
+	f.Fuzz(func(t *testing.T, spec string, n int) {
+		// Cap the ring-family size so the fuzzer cannot demand
+		// gigabyte allocations; parser behavior is size-independent.
+		if n > 1<<16 {
+			n = 1 << 16
+		}
+		// Torus and tree specs embed their own dimensions: bound them
+		// the same way before handing the spec over.
+		if len(spec) > 256 {
+			spec = spec[:256]
+		}
+		if strings.HasPrefix(spec, "torus=") {
+			for _, d := range strings.SplitN(strings.TrimPrefix(spec, "torus="), "x", 2) {
+				if len(d) > 4 { // > 9999 per side
+					return
+				}
+			}
+		}
+		topo, err := agentring.ParseTopology(spec, n)
+		if err != nil {
+			return
+		}
+		switch topo.Kind() {
+		case agentring.KindRing, agentring.KindBiRing, agentring.KindTorus, agentring.KindTree:
+		default:
+			t.Fatalf("ParseTopology(%q, %d) produced unknown kind %q", spec, n, topo.Kind())
+		}
+		if topo.Size() <= 0 {
+			t.Fatalf("ParseTopology(%q, %d) produced empty topology", spec, n)
+		}
+		if topo.String() == "" {
+			t.Fatalf("ParseTopology(%q, %d) has empty String()", spec, n)
+		}
+	})
+}

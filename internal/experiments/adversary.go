@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"agentring"
+)
+
+// AdversaryRow is one cell of an adversary budget sweep: one placement
+// explored to completion (or to a counterexample) under one online
+// adversary budget.
+type AdversaryRow struct {
+	Algorithm agentring.Algorithm
+	Topology  string
+	N         int
+	Homes     []int
+	Budget    agentring.AdversaryBudget
+	Report    agentring.ExploreReport
+}
+
+// AdversarySweep model-checks one algorithm under an online fault
+// adversary across every initial configuration of the substrate and
+// every given budget, answering the worst-case outage-tolerance
+// question as a map instead of a point: which (placement, budget) cells
+// still deploy uniformly, and where the budget frontier breaks the
+// algorithm.
+//
+// Placements on the ring families are deduplicated up to rotation; this
+// is sound under an adversary — unlike under a fixed fault schedule —
+// because the adversary's moves are quantified over *all* edges, so the
+// augmented schedule spaces of rotated placements are isomorphic (the
+// rotation carries fail/repair choices along with agent actions).
+//
+// Unlike ExploreAllStream, a counterexample does not abort the sweep:
+// finding the budgets that break an algorithm is the point, so every
+// cell is measured and the caller reads the verdicts (and each breaking
+// cell's WorstOutage) off the rows. Only setup errors and context
+// cancellation abort. Each finished row is handed to emit (when
+// non-nil) before the next search starts.
+func AdversarySweep(ctx context.Context, alg agentring.Algorithm, topology string, n int, budgets []agentring.AdversaryBudget, opts agentring.ExploreOptions, emit func(AdversaryRow)) ([]AdversaryRow, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(budgets) == 0 {
+		return nil, fmt.Errorf("adversary sweep: no budgets")
+	}
+	topo, err := agentring.ParseTopology(topology, n)
+	if err != nil {
+		return nil, err
+	}
+	n = topo.Size()
+	const maxAllNodes = 20
+	if n > maxAllNodes {
+		return nil, fmt.Errorf("substrate %s has %d nodes; exhaustive placement enumeration is capped at %d", topo, n, maxAllNodes)
+	}
+	var placements [][]int
+	if topo.Kind() == agentring.KindRing || topo.Kind() == agentring.KindBiRing {
+		placements = AllPlacements(n)
+	} else {
+		for mask := 1; mask < 1<<n; mask++ {
+			var homes []int
+			for v := 0; v < n; v++ {
+				if mask&(1<<v) != 0 {
+					homes = append(homes, v)
+				}
+			}
+			placements = append(placements, homes)
+		}
+	}
+	rows := make([]AdversaryRow, 0, len(placements)*len(budgets))
+	for _, homes := range placements {
+		for _, budget := range budgets {
+			b := budget
+			o := opts
+			o.Adversary = &b
+			rep, err := agentring.Explore(ctx, alg, agentring.Config{Topology: topo, Homes: homes}, o)
+			if err != nil {
+				return rows, fmt.Errorf("adversary explore %s on %s homes=%v budget=%s: %w",
+					alg, topo, homes, agentring.FormatAdversary(budget), err)
+			}
+			row := AdversaryRow{Algorithm: alg, Topology: topo.String(), N: n, Homes: homes, Budget: budget, Report: rep}
+			rows = append(rows, row)
+			if emit != nil {
+				emit(row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// FormatAdversaryRows renders sweep rows as an aligned text table; the
+// outage column shows the minimal breaking concurrent budget for CEX
+// rows and "-" for surviving ones.
+func FormatAdversaryRows(rows []AdversaryRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %4s %-14s %-8s %8s %8s %9s %5s %7s %8s\n",
+		"algorithm", "n", "homes", "budget", "states", "replays", "terminals", "cover", "verdict", "outage")
+	for _, r := range rows {
+		cover := "full"
+		if !r.Report.Complete {
+			cover = "partial"
+		}
+		verdict, outage := "ok", "-"
+		if r.Report.Counterexample != nil {
+			verdict = "CEX"
+			if wo := r.Report.WorstOutage; wo != nil && wo.Breaks {
+				outage = fmt.Sprintf("k'=%d", wo.MinConcurrent)
+			}
+		}
+		fmt.Fprintf(&b, "%-12s %4d %-14s %-8s %8d %8d %9d %5s %7s %8s\n",
+			r.Algorithm, r.N, fmt.Sprint(r.Homes), agentring.FormatAdversary(r.Budget),
+			r.Report.States, r.Report.Replays, r.Report.DistinctTerminals, cover, verdict, outage)
+	}
+	return b.String()
+}

@@ -130,6 +130,51 @@
 // TestExplorePermanentFaultCounterexampleReplays pin both directions,
 // including replayability of the reported schedule.
 //
+// # The online adversary (faults as choice points)
+//
+// Setup.Adversary replaces the fixed timeline with a branching one:
+// the engine offers ChoiceFail/ChoiceRepair moves alongside agent
+// actions (sim.AdversaryBudget bounds concurrent outages, total fails,
+// and forces repair of any link down RepairWithin actions), and the
+// search explores every interleaving of faults and moves. A complete
+// counterexample-free search is then a proof against *every* outage
+// pattern within the budget, not one timeline. The two fixed-schedule
+// compensations invert:
+//
+//   - sleep sets: adversary moves commute with nothing, so any node
+//     whose enabled set contains a repair choice (i.e. some link is
+//     down) is a boundary — children start with empty sleep sets and
+//     no commutation is recorded there, and adversary-move children
+//     always start empty. Where all links are up the static per-edge
+//     independence argument applies unchanged; the incoming sleep set
+//     at a boundary is empty by construction because sleep entries
+//     only propagate along agent actions out of all-links-up states.
+//     TestAdversaryReductionAndModeConsistency cross-checks reduced,
+//     reduction-free, replay-mode, and parallel searches;
+//   - cache keys: there is no pending timeline, so nothing depends on
+//     absolute depth. A state's future is the visible configuration
+//     plus the adversary's relative state, which sim.Engine.StateKey
+//     folds directly (spent fail count, per-down-link age in rank
+//     order) — the explorer caches on that key with no depth fold and
+//     keeps full cross-depth convergence, which is what makes the
+//     augmented space tractable.
+//
+// TestAdversaryCrossCheckBruteForce referees the whole construction
+// against brute force: the adversary search's set of reachable
+// terminal position vectors must equal the union over an explicit
+// enumeration of every fixed single-outage FaultSchedule within the
+// budget, at 1 and 4 workers alike.
+//
+// One coverage asymmetry is deliberate: the checkpoint search core
+// applies to adversary-mode searches exactly as to static ones, but
+// only for algorithms compiled as checkpointable frames. Coroutine
+// implementations (internal/core's alg2 and relaxed variants) report
+// Checkpointable() == false and silently fall back to
+// replay-from-root; TestCoroutineFallbackReplaysExactly pins that the
+// fallback engages (auto-mode replay counters equal ForceReplay's)
+// and reports identically, so the parity gap costs performance, never
+// soundness.
+//
 // # Verdicts
 //
 // Terminal (quiescent) states are checked against the property (default:

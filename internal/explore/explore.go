@@ -76,6 +76,28 @@ type Setup struct {
 	//     then identical in both interleavings, and frozen-link
 	//     enabledness is a function of that shared state).
 	Faults sim.FaultSchedule
+	// Adversary, if non-nil, replaces the fixed fault timeline with an
+	// online adversary (sim.Options.Adversary): fail and repair moves
+	// become choices at every decision point, so the search quantifies
+	// over every failure pattern the budget admits instead of one
+	// schedule. Mutually exclusive with Faults. The static search's two
+	// fault adaptations invert here:
+	//
+	//   - cache keys fold no depth: the adversary state a configuration
+	//     carries (spent fails, relative outage ages) is part of
+	//     Engine.StateKey, and together with the visible state it fully
+	//     determines the future — equal keys at different depths really
+	//     do converge;
+	//   - the sleep-set reduction stratifies on *link state* rather than
+	//     depth: at any node where a link is down (equivalently, where a
+	//     repair choice is enabled), agent actions age the outage and can
+	//     flip the next decision point into a forced repair, so adjacent
+	//     exchanges are not enabledness-preserving there — children start
+	//     with empty sleep sets and no commutation is recorded. Children
+	//     reached by an adversary move likewise start empty. Away from
+	//     down links the reduction applies in full, because agent actions
+	//     touch no adversary state while every link is up.
+	Adversary *sim.AdversaryBudget
 	// Property checks a quiescent terminal state, returning "" when it
 	// is acceptable and a human-readable violation otherwise. Nil
 	// selects the paper's predicate: uniform deployment on the n-node
@@ -184,6 +206,16 @@ func (c *Counterexample) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "counterexample after %d decisions: %s\n", len(c.Schedule), c.Reason)
 	for i, ch := range c.Schedule {
+		switch ch.Kind {
+		case sim.ChoiceFail:
+			fmt.Fprintf(&b, "  decision %3d (choice %d): adversary fails the link leaving node %d (edge rank %d)\n",
+				i, c.Prefix[i], ch.Node, ch.Edge)
+			continue
+		case sim.ChoiceRepair:
+			fmt.Fprintf(&b, "  decision %3d (choice %d): adversary repairs the link leaving node %d (edge rank %d)\n",
+				i, c.Prefix[i], ch.Node, ch.Edge)
+			continue
+		}
 		verb := "arrives at"
 		if ch.Kind == sim.ChoiceWake {
 			verb = "wakes at"
@@ -280,6 +312,9 @@ func Explore(ctx context.Context, setup Setup, opts Options) (Report, error) {
 			}
 			return ""
 		}
+	}
+	if setup.Adversary != nil && len(setup.Faults) > 0 {
+		return Report{}, fmt.Errorf("%w: Adversary and Faults are mutually exclusive", ErrSetup)
 	}
 	rankSrc, err := sim.RankSources(topo)
 	if err != nil {
@@ -552,6 +587,7 @@ func (x *explorer) newEngine() (*sim.Engine, error) {
 	eng, err := sim.NewEngine(x.setup.Topology, x.setup.Homes, programs, sim.Options{
 		MaxSteps:   x.opts.MaxSteps,
 		Faults:     x.setup.Faults,
+		Adversary:  x.setup.Adversary,
 		TrackState: true,
 	})
 	if err != nil {
@@ -575,6 +611,7 @@ func (x *explorer) replay(prefix []int) (*sim.Controlled, sim.Result, uint64, er
 		Scheduler:  ctrl,
 		MaxSteps:   x.opts.MaxSteps,
 		Faults:     x.setup.Faults,
+		Adversary:  x.setup.Adversary,
 		TrackState: true,
 	})
 	if err != nil {
@@ -705,22 +742,40 @@ func (x *explorer) makeChildren(w int, it item, enabled []sim.Choice, sleep slee
 	// At a fault boundary the children's executions fire a mutation, so
 	// no commutation across it may be recorded; inherited suppressions
 	// still apply (their exchanges happened at shallower, checked
-	// depths), but children start from empty sleep sets.
+	// depths), but children start from empty sleep sets. Under an
+	// adversary the boundary is any node with a down link (detected by
+	// an enabled repair choice): agent actions there age the outage and
+	// can flip the next decision point into a forced repair, so adjacent
+	// exchanges are not enabledness-preserving. Incoming sleep sets at
+	// such nodes are empty by construction — the edge into them was
+	// either an adversary move (empty by the rule below) or came from a
+	// node that was itself a boundary.
 	boundary := x.boundary[depth+1]
+	if x.setup.Adversary != nil && !boundary {
+		for _, c := range enabled {
+			if c.Kind == sim.ChoiceRepair {
+				boundary = true
+				break
+			}
+		}
+	}
 	scr := &x.wes[w]
 	children := scr.kids[:0]
 	explored := scr.explored[:0]
 	for i, c := range enabled {
-		if sleep.has(c.Agent) {
+		if c.Agent >= 0 && sleep.has(c.Agent) {
 			x.st.sleepSkips.Add(1)
 			continue
 		}
 		var childSleep sleepSet
-		if !x.opts.DisableReduction && !boundary {
+		if !x.opts.DisableReduction && !boundary && c.Agent >= 0 {
 			// The child inherits every suppressed or already-explored
 			// sibling that commutes with c: executing it before or
 			// after c reaches the same state, and the other order is
-			// (or was) explored from this node.
+			// (or was) explored from this node. Adversary-move children
+			// (c.Agent < 0) inherit nothing: a fail reshapes which agent
+			// exchanges are sound below it, so their subtrees restart the
+			// reduction from scratch.
 			for _, s := range sleep {
 				if x.independent(s, c) {
 					childSleep = addSleep(childSleep, s)
@@ -745,7 +800,13 @@ func (x *explorer) makeChildren(w int, it item, enabled []sim.Choice, sleep slee
 			prefix[len(it.prefix)] = i
 			children = append(children, item{prefix: prefix, sleep: childSleep})
 		}
-		explored = append(explored, c)
+		if c.Agent >= 0 {
+			// Only agent actions enter the commutation record: an
+			// adversary move is never a sound suppression for a sibling
+			// (its exchange changes the link state between the two
+			// actions).
+			explored = append(explored, c)
+		}
 	}
 	scr.kids = children
 	scr.explored = explored

@@ -50,6 +50,13 @@ type Spec struct {
 	// roundrobin (default) | random | synchronous | adversarial.
 	Scheduler string `json:"scheduler,omitempty"`
 	Faults    string `json:"faults,omitempty"` // named DynRing plan or raw agentring.ParseFaults spec
+	// Adversary attaches an online fault adversary to an explore job, in
+	// agentring.ParseAdversary "K/D[/T]" syntax: the search then branches
+	// over link failures and repairs within the budget, and the report
+	// carries the worst-outage verdict. KindExplore only; mutually
+	// exclusive with Faults. This is what overnight adversary sweeps
+	// submit, one explore job per (placement, budget) cell.
+	Adversary string `json:"adversary,omitempty"`
 	// Ns/Ks widen a sweep into a grid; empty axes default to {N}/{K}.
 	// Grid points with k > n/2 are skipped (unscatterable), mirroring
 	// the sweep CLI's Table 1 grids.
@@ -176,6 +183,9 @@ func (s Spec) compile() (compiled, error) {
 	if err != nil {
 		return compiled{}, err
 	}
+	if s.Adversary != "" && s.Kind != KindExplore {
+		return compiled{}, fmt.Errorf("%w: adversary budgets are explore-only (the engine's run path replays fixed fault schedules)", ErrSpec)
+	}
 	switch s.Kind {
 	case KindRun:
 		cfg, err := s.cellConfig(s.N, s.K, s.Seed)
@@ -216,7 +226,7 @@ func (s Spec) compile() (compiled, error) {
 		if err != nil {
 			return compiled{}, err
 		}
-		return compiled{alg: alg, explore: &cfg, opts: agentring.ExploreOptions{
+		opts := agentring.ExploreOptions{
 			Budget: agentring.Budget{
 				MaxDepth:      s.MaxDepth,
 				MaxStates:     s.MaxStates,
@@ -224,7 +234,18 @@ func (s Spec) compile() (compiled, error) {
 				MaxDuration:   time.Duration(s.MaxDurationMS) * time.Millisecond,
 			},
 			Workers: s.Workers,
-		}}, nil
+		}
+		if s.Adversary != "" {
+			if s.Faults != "" {
+				return compiled{}, fmt.Errorf("%w: adversary and faults are mutually exclusive", ErrSpec)
+			}
+			budget, err := agentring.ParseAdversary(s.Adversary)
+			if err != nil {
+				return compiled{}, fmt.Errorf("%w: %v", ErrSpec, err)
+			}
+			opts.Adversary = &budget
+		}
+		return compiled{alg: alg, explore: &cfg, opts: opts}, nil
 	default:
 		return compiled{}, fmt.Errorf("%w: unknown kind %q", ErrSpec, s.Kind)
 	}

@@ -91,6 +91,12 @@ type Checkpoint struct {
 	downCount, epoch, faultIdx int
 	steps, sent, delivered     int
 	quiesced                   bool
+
+	// Adversary state (empty when the engine runs without one): spent
+	// fail moves, and the per-rank outage stamps overdue detection and
+	// state keying derive ages from.
+	advFails  int
+	advDownAt []int32
 }
 
 // into replaces dst's contents with a copy of src, reusing capacity.
@@ -199,6 +205,8 @@ func (e *Engine) CheckpointTo(cp *Checkpoint) error {
 	cp.sent = e.sent
 	cp.delivered = e.delivered
 	cp.quiesced = e.quiesced
+	cp.advFails = e.advFails
+	cp.advDownAt = into(cp.advDownAt, e.advDownAt)
 	return nil
 }
 
@@ -289,6 +297,10 @@ func (e *Engine) Restore(cp *Checkpoint) error {
 	e.sent = cp.sent
 	e.delivered = cp.delivered
 	e.quiesced = cp.quiesced
+	e.advFails = cp.advFails
+	if e.adv != nil {
+		e.advDownAt = into(e.advDownAt, cp.advDownAt)
+	}
 	return nil
 }
 
@@ -314,6 +326,9 @@ func (e *Engine) DecisionPoint() []Choice {
 	for len(choices) == 0 && e.faultIdx < len(e.faults) {
 		e.applyNextFaultBatch()
 		choices = e.enabledChoices()
+	}
+	if e.adv != nil {
+		choices = e.adversaryChoices(choices)
 	}
 	if len(choices) == 0 {
 		e.quiesced = true
@@ -412,6 +427,19 @@ func (e *Engine) StateKey() uint64 {
 		h = fold(h, 0xd09e)
 		for r := e.down.next(0); r != -1; r = e.down.next(r + 1) {
 			h = fold(h, uint64(r)+1)
+		}
+	}
+	if e.adv != nil {
+		// Adversary state is part of the configuration: the spent fail
+		// budget and each down link's *relative* age (actions since the
+		// fail, not the absolute step stamp), so that equal agent states
+		// reached at different depths still share a key.
+		h = fold(h, 0xadfa)
+		h = fold(h, uint64(e.advFails))
+		if e.downCount > 0 {
+			for r := e.down.next(0); r != -1; r = e.down.next(r + 1) {
+				h = fold(h, uint64(e.steps-int(e.advDownAt[r])))
+			}
 		}
 	}
 	return h

@@ -52,6 +52,11 @@ type Options struct {
 	// Step order; an empty schedule leaves the engine on the static
 	// topology with zero overhead in the stepping loop.
 	Faults FaultSchedule
+	// Adversary, if non-nil, makes link failures and repairs *choices*
+	// offered at every decision point instead of a fixed timeline: see
+	// AdversaryBudget for the budget semantics and the deterministic
+	// choice order. Mutually exclusive with Faults.
+	Adversary *AdversaryBudget
 	// TrackState, if set, maintains a per-agent canonical hash of the
 	// agent's complete observation history (every value its program read
 	// through the API) and pending mailbox contents, surfaced as
@@ -198,6 +203,18 @@ type Engine struct {
 	faults    FaultSchedule
 	faultIdx  int
 
+	// Online-adversary state (Options.Adversary; nil otherwise). The
+	// budget itself is immutable; the mutable part — how many fails have
+	// been spent and when each down link failed — is configuration
+	// state: it is checkpointed, restored, and folded into StateKey
+	// (fail count plus per-link *relative* outage ages, so states
+	// reached at different depths still converge).
+	adv       *AdversaryBudget
+	advFails  int
+	advDownAt []int32 // per rank: step count just after the fail; -1 when up
+	advSrc    []int32 // per rank: tail node of the directed edge
+	advPort   []int32 // per rank: out-port at the tail node
+
 	steps     int
 	sent      int
 	delivered int
@@ -301,6 +318,11 @@ func NewEngine(t Topology, homes []ring.NodeID, programs []Program, opts Options
 		}
 		e.faults = opts.Faults.sorted()
 	}
+	if opts.Adversary != nil {
+		if err := e.initAdversary(*opts.Adversary); err != nil {
+			return nil, err
+		}
+	}
 	for i := 0; i < m; i++ {
 		e.qhead[i], e.qtail[i] = -1, -1
 	}
@@ -356,6 +378,9 @@ func (e *Engine) Run() (Result, error) {
 		e.observer(e.snapshot())
 	}
 	rr, fast := e.sched.(*RoundRobin)
+	// Adversary engines always take the generic loop: adversary moves
+	// exist only as materialized choices.
+	fast = fast && e.adv == nil
 	for {
 		e.applyDueFaults()
 		if fast && e.observer == nil && e.initNodes.count == 0 && e.ready.count > 0 && e.steps < e.maxStep {
@@ -375,6 +400,9 @@ func (e *Engine) Run() (Result, error) {
 		for len(choices) == 0 && e.faultIdx < len(e.faults) {
 			e.applyNextFaultBatch()
 			choices = e.enabledChoices()
+		}
+		if e.adv != nil {
+			choices = e.adversaryChoices(choices)
 		}
 		if len(choices) == 0 {
 			e.quiesced = true
@@ -609,6 +637,8 @@ func (e *Engine) activate(c Choice) error {
 		return e.activateArrival(c.Agent, c.Edge)
 	case ChoiceWake:
 		return e.activateWake(c.Agent)
+	case ChoiceFail, ChoiceRepair:
+		return e.activateAdversary(c)
 	default:
 		return fmt.Errorf("%w: unknown choice kind %d", ErrBadSetup, c.Kind)
 	}

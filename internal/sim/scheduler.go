@@ -6,7 +6,9 @@ import (
 	"agentring/internal/ring"
 )
 
-// ChoiceKind distinguishes the two ways an agent can be enabled.
+// ChoiceKind distinguishes the ways an atomic action can be enabled:
+// the two agent actions, plus the adversary's link moves when the
+// engine runs with Options.Adversary.
 type ChoiceKind int
 
 // Kinds of scheduling choices.
@@ -17,16 +19,28 @@ const (
 	// ChoiceWake schedules a suspended agent with a non-empty mailbox to
 	// receive its messages and take an atomic action.
 	ChoiceWake
+	// ChoiceFail is an adversary move failing a currently-up directed
+	// edge (Agent is -1, Node the edge's tail, Edge its arrival rank).
+	// Offered only by engines built with Options.Adversary, within the
+	// AdversaryBudget.
+	ChoiceFail
+	// ChoiceRepair is an adversary move repairing a currently-down
+	// directed edge (same addressing as ChoiceFail). While any link is
+	// down, repairs are always offered — and once a link is overdue
+	// (down for AdversaryBudget.RepairWithin actions), repairing the
+	// lowest-rank overdue link is the *only* offered choice.
+	ChoiceRepair
 )
 
 // Choice is one enabled atomic action the scheduler may pick.
 type Choice struct {
 	Kind  ChoiceKind
-	Agent int         // engine-internal agent index
-	Node  ring.NodeID // arrival destination, or the node a waking agent stays at
-	// Edge identifies the link FIFO an arrival pops (an engine-internal
-	// directed-edge id; multi-port topologies can have several distinct
-	// queues toward the same node). It is -1 for wakes.
+	Agent int         // engine-internal agent index; -1 for adversary moves
+	Node  ring.NodeID // arrival destination, the node a waking agent stays at, or an adversary move's edge tail
+	// Edge identifies the link FIFO an arrival pops, or the directed
+	// edge an adversary move mutates (an engine-internal directed-edge
+	// id; multi-port topologies can have several distinct queues toward
+	// the same node). It is -1 for wakes.
 	Edge int
 }
 

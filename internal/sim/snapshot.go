@@ -48,6 +48,17 @@ type Configuration struct {
 	// component: a failed edge's queue is frozen in place.
 	Epoch     int
 	DownEdges []int
+	// AdvActive is true when the engine runs with Options.Adversary; the
+	// two Adv fields below then extend C with the adversary's own state,
+	// which is future-determining (it bounds the remaining fail moves and
+	// the forced-repair deadlines). AdvFailures counts the fail moves
+	// spent so far; AdvDownAges holds, aligned with DownEdges, each down
+	// link's age — atomic actions executed since its fail. Ages are
+	// relative, not absolute step stamps, so equal configurations reached
+	// at different depths compare (and hash) equal.
+	AdvActive   bool
+	AdvFailures int
+	AdvDownAges []int
 	// AgentHashes, present only when the engine runs with
 	// Options.TrackState, holds per-agent canonical hashes folding the
 	// agent's complete observation history with its pending mailbox
@@ -107,6 +118,13 @@ func (e *Engine) snapshot() Configuration {
 			cfg.DownEdges = append(cfg.DownEdges, r)
 		}
 	}
+	if e.adv != nil {
+		cfg.AdvActive = true
+		cfg.AdvFailures = e.advFails
+		for _, r := range cfg.DownEdges {
+			cfg.AdvDownAges = append(cfg.AdvDownAges, e.steps-int(e.advDownAt[r]))
+		}
+	}
 	if e.track {
 		cfg.AgentHashes = make([]uint64, k)
 		for i := 0; i < k; i++ {
@@ -163,6 +181,15 @@ func (c Configuration) Key() uint64 {
 		h = fold(h, 0xd09e)
 		for _, r := range c.DownEdges {
 			h = fold(h, uint64(r)+1)
+		}
+	}
+	// Adversary state, matching Engine.StateKey: the spent fail budget
+	// and the down links' relative ages in DownEdges (rank) order.
+	if c.AdvActive {
+		h = fold(h, 0xadfa)
+		h = fold(h, uint64(c.AdvFailures))
+		for _, age := range c.AdvDownAges {
+			h = fold(h, uint64(age))
 		}
 	}
 	return h
